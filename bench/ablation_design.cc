@@ -1,0 +1,245 @@
+// Design-choice ablations beyond the paper's Table IV (the starred items in
+// DESIGN.md §5):
+//
+//   A. imitation schedule: the paper's rising k(t) vs constant k;
+//   B. regularization strength C sweep for the NER teacher;
+//   C. weighted (Eq. 10) vs unweighted (Eq. 8) objective on NER;
+//   D. NER rule form: disjunctive validity rule vs the literal weighted
+//      Eqs. 18-19 (0.8/0.2) reading;
+//   E. parameters vs rules: a linear-chain CRF (learned transitions,
+//      Lample-style) trained on MV labels, against the parameter-free logic
+//      rules of Logic-LNCL and the plain MV-Classifier;
+//   F. recurrent cell: the paper's GRU vs an LSTM in the NER tagger.
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "baselines/two_stage.h"
+#include "bench_common.h"
+#include "core/ner_rules.h"
+#include "core/sentiment_rules.h"
+#include "eval/metrics.h"
+#include "inference/majority_vote.h"
+#include "models/crf_tagger.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace lncl::bench {
+namespace {
+
+struct Cell {
+  std::vector<double> prediction;
+  std::vector<double> inference;
+};
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  Scale sent_scale = SentimentScale(config);
+  Scale ner_scale = NerScale(config);
+  sent_scale.runs = config.GetInt("runs", 2);
+  ner_scale.runs = sent_scale.runs;
+  PrintConfigBanner("Design ablations (DESIGN.md §5)", ner_scale, config);
+
+  std::map<std::string, Cell> cells;
+  std::mutex mu;
+  util::ThreadPool pool(config.GetInt("threads", 0));
+
+  auto* sent = new SentimentSetup(MakeSentimentSetup(sent_scale, 1));
+  auto* ner = new NerSetup(MakeNerSetup(ner_scale, 2));
+  auto* cnn = new models::ModelFactory(models::TextCnn::Factory(
+      SentimentModelConfig(), sent->corpus.embeddings));
+  auto* tagger = new models::ModelFactory(models::NerTagger::Factory(
+      NerModelConfig(), ner->corpus.embeddings));
+
+  // inf < 0 marks "not applicable" (two-stage rows have no q_f).
+  auto add = [&cells, &mu](const std::string& key, double pred, double inf) {
+    std::unique_lock<std::mutex> lock(mu);
+    cells[key].prediction.push_back(pred);
+    if (inf >= 0.0) cells[key].inference.push_back(inf);
+  };
+
+  for (int r = 0; r < sent_scale.runs; ++r) {
+    const uint64_t seed = 52361ULL * (r + 1);
+
+    // ---- A. k schedules (sentiment). ----
+    struct KVariant {
+      const char* name;
+      core::KSchedule schedule;
+    };
+    const KVariant k_variants[] = {
+        {"A: k(t)=min{1,1-0.94^t} (paper)", core::SentimentKSchedule()},
+        {"A: k=0.3 constant", core::ConstantK(0.3)},
+        {"A: k=0.7 constant", core::ConstantK(0.7)},
+        {"A: k=1.0 constant", core::ConstantK(1.0)},
+    };
+    for (const KVariant& v : k_variants) {
+      pool.Submit([=] {
+        util::Rng rng(seed ^ 0x100);
+        core::LogicLnclConfig lcfg = SentimentLnclConfig(sent_scale);
+        lcfg.k_schedule = v.schedule;
+        std::unique_ptr<models::Model> model = (*cnn)(&rng);
+        core::SentimentButRule rule(model.get(), sent->corpus.but_token);
+        core::LogicLncl m(lcfg, std::move(model), &rule);
+        m.Fit(sent->corpus.train, sent->annotations, sent->corpus.dev, &rng);
+        add(v.name,
+            eval::Accuracy(
+                [&m](const data::Instance& x) { return m.PredictStudent(x); },
+                sent->corpus.test),
+            eval::PosteriorAccuracy(m.qf(), sent->corpus.train));
+      });
+    }
+
+    // ---- B. C sweep (NER teacher). ----
+    for (const double c_value : {0.5, 5.0, 50.0}) {
+      pool.Submit([=] {
+        util::Rng rng(seed ^ 0x200);
+        core::LogicLnclConfig lcfg = NerLnclConfig(ner_scale);
+        lcfg.C = c_value;
+        const auto projector = core::MakeNerRuleProjector();
+        core::LogicLncl m(lcfg, *tagger, projector.get());
+        m.Fit(ner->corpus.train, ner->annotations, ner->corpus.dev, &rng);
+        add("B: teacher, C=" + util::FormatFixed(c_value, 1),
+            eval::SpanF1(
+                [&m](const data::Instance& x) { return m.PredictTeacher(x); },
+                ner->corpus.test)
+                .f1,
+            eval::PosteriorSpanF1(m.qf(), ner->corpus.train).f1);
+      });
+    }
+
+    // ---- C. weighted vs unweighted loss (NER). ----
+    for (const bool weighted : {true, false}) {
+      pool.Submit([=] {
+        util::Rng rng(seed ^ 0x300);
+        core::LogicLnclConfig lcfg = NerLnclConfig(ner_scale);
+        lcfg.weighted_loss = weighted;
+        const auto projector = core::MakeNerRuleProjector();
+        core::LogicLncl m(lcfg, *tagger, projector.get());
+        m.Fit(ner->corpus.train, ner->annotations, ner->corpus.dev, &rng);
+        add(weighted ? "C: Eq.10 weighted (paper, NER)"
+                     : "C: Eq.8 unweighted",
+            eval::SpanF1(
+                [&m](const data::Instance& x) { return m.PredictStudent(x); },
+                ner->corpus.test)
+                .f1,
+            eval::PosteriorSpanF1(m.qf(), ner->corpus.train).f1);
+      });
+    }
+
+    // ---- D. rule form (NER teacher). ----
+    struct RuleVariant {
+      const char* name;
+      std::shared_ptr<logic::SequenceRuleProjector> projector;
+    };
+    const RuleVariant rule_variants[] = {
+        {"D: disjunctive validity rule",
+         std::shared_ptr<logic::SequenceRuleProjector>(
+             core::MakeNerRuleProjector())},
+        {"D: weighted Eqs.18-19 (0.8/0.2)",
+         std::shared_ptr<logic::SequenceRuleProjector>(
+             core::MakeWeightedNerRuleProjector())},
+    };
+    for (const RuleVariant& v : rule_variants) {
+      pool.Submit([=] {
+        util::Rng rng(seed ^ 0x400);
+        core::LogicLncl m(NerLnclConfig(ner_scale), *tagger,
+                          v.projector.get());
+        m.Fit(ner->corpus.train, ner->annotations, ner->corpus.dev, &rng);
+        add(v.name,
+            eval::SpanF1(
+                [&m](const data::Instance& x) { return m.PredictTeacher(x); },
+                ner->corpus.test)
+                .f1,
+            eval::PosteriorSpanF1(m.qf(), ner->corpus.train).f1);
+      });
+    }
+
+    // ---- E. learned CRF transitions vs logic rules. ----
+    pool.Submit([=] {
+      util::Rng rng(seed ^ 0x500);
+      models::CrfTaggerConfig crf_config;
+      baselines::TwoStageConfig ts;
+      ts.epochs = ner_scale.epochs;
+      ts.batch_size = ner_scale.batch;
+      ts.patience = ner_scale.patience;
+      ts.optimizer = NerOptimizer();
+      baselines::TwoStage m(
+          ts, models::CrfTagger::Factory(crf_config, ner->corpus.embeddings));
+      inference::MajorityVote mv;
+      m.Fit(ner->corpus.train, ner->annotations, mv, ner->corpus.dev, &rng);
+      add("E: CRF-Classifier (MV labels)",
+          eval::SpanF1(eval::ModelPredictor(*m.model()), ner->corpus.test).f1,
+          -1.0);
+    });
+    pool.Submit([=] {
+      util::Rng rng(seed ^ 0x600);
+      baselines::TwoStageConfig ts;
+      ts.epochs = ner_scale.epochs;
+      ts.batch_size = ner_scale.batch;
+      ts.patience = ner_scale.patience;
+      ts.optimizer = NerOptimizer();
+      baselines::TwoStage m(ts, *tagger);
+      inference::MajorityVote mv;
+      m.Fit(ner->corpus.train, ner->annotations, mv, ner->corpus.dev, &rng);
+      add("E: MV-Classifier (no CRF, no rules)",
+          eval::SpanF1(eval::ModelPredictor(*m.model()), ner->corpus.test).f1,
+          -1.0);
+    });
+    pool.Submit([=] {
+      util::Rng rng(seed ^ 0x700);
+      const auto projector = core::MakeNerRuleProjector();
+      core::LogicLncl m(NerLnclConfig(ner_scale), *tagger, projector.get());
+      m.Fit(ner->corpus.train, ner->annotations, ner->corpus.dev, &rng);
+      add("E: Logic-LNCL-teacher (rules)",
+          eval::SpanF1(
+              [&m](const data::Instance& x) { return m.PredictTeacher(x); },
+              ner->corpus.test)
+              .f1,
+          eval::PosteriorSpanF1(m.qf(), ner->corpus.train).f1);
+    });
+
+    // ---- F. recurrent cell (GRU vs LSTM) under Logic-LNCL. ----
+    for (const bool use_lstm : {false, true}) {
+      pool.Submit([=] {
+        util::Rng rng(seed ^ (use_lstm ? 0x800 : 0x900));
+        models::NerTaggerConfig mcfg = NerModelConfig();
+        mcfg.recurrent = use_lstm ? models::NerTaggerConfig::Recurrent::kLstm
+                                  : models::NerTaggerConfig::Recurrent::kGru;
+        const auto projector = core::MakeNerRuleProjector();
+        core::LogicLncl m(
+            NerLnclConfig(ner_scale),
+            models::NerTagger::Factory(mcfg, ner->corpus.embeddings),
+            projector.get());
+        m.Fit(ner->corpus.train, ner->annotations, ner->corpus.dev, &rng);
+        add(use_lstm ? "F: LSTM tagger" : "F: GRU tagger (paper)",
+            eval::SpanF1(
+                [&m](const data::Instance& x) { return m.PredictStudent(x); },
+                ner->corpus.test)
+                .f1,
+            eval::PosteriorSpanF1(m.qf(), ner->corpus.train).f1);
+      });
+    }
+  }
+  pool.Wait();
+
+  util::Table table("Design ablations");
+  table.SetHeader({"Variant", "Prediction", "Inference"});
+  std::string prev_section;
+  for (const auto& [name, cell] : cells) {
+    if (!prev_section.empty() && name.substr(0, 1) != prev_section) {
+      table.AddSeparator();
+    }
+    prev_section = name.substr(0, 1);
+    table.AddRow({name, Pct(cell.prediction, true), Pct(cell.inference)});
+  }
+  EmitTable(&table, "ablation_design");
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

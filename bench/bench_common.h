@@ -1,0 +1,104 @@
+#ifndef LNCL_BENCH_BENCH_COMMON_H_
+#define LNCL_BENCH_BENCH_COMMON_H_
+
+// Shared harness pieces for the table/figure benchmarks: experiment scales,
+// corpus + crowd construction, the paper's Table-I configurations, and
+// aggregation across runs.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/logic_lncl.h"
+#include "crowd/annotation.h"
+#include "crowd/simulator.h"
+#include "data/ner_gen.h"
+#include "data/sentiment_gen.h"
+#include "models/ner_tagger.h"
+#include "models/text_cnn.h"
+#include "util/config.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace lncl::bench {
+
+// Experiment scale. The default is laptop-sized so the full bench sweep
+// finishes in minutes; --full (or LNCL_FULL=1) selects the paper-sized
+// configuration.
+struct Scale {
+  int train = 0;
+  int dev = 0;
+  int test = 0;
+  int annotators = 0;
+  int epochs = 0;
+  int runs = 0;
+  int batch = 0;
+  int patience = 5;
+};
+
+Scale SentimentScale(const util::Config& config);
+Scale NerScale(const util::Config& config);
+
+// A generated task: corpus + simulated crowd + crowd labels on train.
+struct SentimentSetup {
+  data::SentimentCorpus corpus;
+  std::unique_ptr<crowd::CrowdSimulator> simulator;
+  crowd::AnnotationSet annotations;
+};
+
+struct NerSetup {
+  data::NerCorpus corpus;
+  std::unique_ptr<crowd::CrowdSimulator> simulator;
+  crowd::AnnotationSet annotations;
+};
+
+// Deterministic in `seed`.
+SentimentSetup MakeSentimentSetup(const Scale& scale, uint64_t seed);
+NerSetup MakeNerSetup(const Scale& scale, uint64_t seed);
+
+// Model architectures (reduced-width versions of the paper's networks).
+models::TextCnnConfig SentimentModelConfig();
+models::NerTaggerConfig NerModelConfig();
+
+// Table-I optimization settings.
+// Sentiment: Adadelta, lr 1.0 halved every 5 epochs, batch 50.
+// NER: Adam, lr 0.001, batch 64. (Learning rates are rescaled for the
+// reduced-width CPU models; see bench_common.cc.)
+nn::OptimizerConfig SentimentOptimizer();
+nn::OptimizerConfig NerOptimizer();
+
+core::LogicLnclConfig SentimentLnclConfig(const Scale& scale);
+core::LogicLnclConfig NerLnclConfig(const Scale& scale);
+
+// Scores of one method across runs (fractions in [0, 1]; printed as %).
+struct MethodScores {
+  std::string name;
+  std::vector<double> prediction;  // accuracy or F1 per run
+  std::vector<double> inference;
+  // NER extras.
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> inf_precision;
+  std::vector<double> inf_recall;
+};
+
+// "mean" or "mean ±std" (percent) for a metric vector; "-" when empty.
+std::string Pct(const std::vector<double>& xs, bool with_std = false);
+
+// Runs fn(run_index, seed) for every run, in parallel across a thread pool
+// sized by --threads (default: hardware concurrency).
+void ForEachRun(const util::Config& config, int runs,
+                const std::function<void(int, uint64_t)>& fn);
+
+// Echoes the experimental configuration (the paper's Table I analogue).
+void PrintConfigBanner(const std::string& bench, const Scale& scale,
+                       const util::Config& config);
+
+// Writes the table to stdout and a CSV next to the binary (results/<id>.csv
+// under the current working directory).
+void EmitTable(util::Table* table, const std::string& id);
+
+}  // namespace lncl::bench
+
+#endif  // LNCL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,93 @@
+// Calibration harness (not a paper table): trains the Gold upper bound and
+// the MV baseline on both tasks and prints the headline numbers, so the
+// synthetic-corpus difficulty and optimizer settings can be tuned to land in
+// the paper's bands (sentiment Gold ~79%, MV-inference ~88.6%; NER Gold F1
+// ~73, MV-inference F1 ~67).
+#include <iostream>
+
+#include "baselines/two_stage.h"
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "inference/majority_vote.h"
+#include "util/logging.h"
+
+namespace lncl::bench {
+namespace {
+
+void CalibrateSentiment(const util::Config& config) {
+  const Scale scale = SentimentScale(config);
+  SentimentSetup setup = MakeSentimentSetup(scale, 1);
+
+  const auto mv_posteriors = setup.annotations.MajorityVote(
+      inference::ItemsPerInstance(setup.corpus.train));
+  std::cout << "[sentiment] MV inference acc: "
+            << Pct({eval::PosteriorAccuracy(mv_posteriors,
+                                            setup.corpus.train)})
+            << "\n";
+
+  baselines::TwoStageConfig ts;
+  ts.epochs = scale.epochs;
+  ts.batch_size = scale.batch;
+  ts.patience = 5;
+  ts.optimizer = SentimentOptimizer();
+  util::Rng rng(7);
+  baselines::TwoStage gold(
+      ts, models::TextCnn::Factory(SentimentModelConfig(),
+                                   setup.corpus.embeddings));
+  const auto result = gold.FitOnTargets(
+      setup.corpus.train, baselines::GoldTargets(setup.corpus.train),
+      setup.corpus.dev, &rng);
+  const double test_acc = eval::Accuracy(
+      [&](const data::Instance& x) { return gold.Predict(x); },
+      setup.corpus.test);
+  std::cout << "[sentiment] Gold: dev " << Pct({result.best_dev_score})
+            << " test " << Pct({test_acc}) << " (best epoch "
+            << result.best_epoch << ")\n";
+}
+
+void CalibrateNer(const util::Config& config) {
+  const Scale scale = NerScale(config);
+  NerSetup setup = MakeNerSetup(scale, 2);
+
+  const auto mv_posteriors = setup.annotations.MajorityVote(
+      inference::ItemsPerInstance(setup.corpus.train));
+  const eval::PrF1 mv = eval::PosteriorSpanF1(mv_posteriors,
+                                              setup.corpus.train);
+  std::cout << "[ner] MV inference P/R/F1: " << Pct({mv.precision}) << "/"
+            << Pct({mv.recall}) << "/" << Pct({mv.f1}) << "\n";
+
+  baselines::TwoStageConfig ts;
+  ts.epochs = scale.epochs;
+  ts.batch_size = scale.batch;
+  ts.patience = 5;
+  ts.optimizer = NerOptimizer();
+  util::Rng rng(9);
+  baselines::TwoStage gold(
+      ts, models::NerTagger::Factory(NerModelConfig(),
+                                     setup.corpus.embeddings));
+  const auto result = gold.FitOnTargets(
+      setup.corpus.train, baselines::GoldTargets(setup.corpus.train),
+      setup.corpus.dev, &rng);
+  const eval::PrF1 test = eval::SpanF1(
+      [&](const data::Instance& x) { return gold.Predict(x); },
+      setup.corpus.test);
+  std::cout << "[ner] Gold: dev-F1 " << Pct({result.best_dev_score})
+            << " test P/R/F1 " << Pct({test.precision}) << "/"
+            << Pct({test.recall}) << "/" << Pct({test.f1}) << " (best epoch "
+            << result.best_epoch << ")\n";
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::Config config(argc, argv);
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  if (!config.GetBool("skip_sentiment", false)) {
+    lncl::bench::CalibrateSentiment(config);
+  }
+  if (!config.GetBool("skip_ner", false)) {
+    lncl::bench::CalibrateNer(config);
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Extension experiment (paper Section VIII, Discussion): Logic-LNCL on two
+// settings beyond human crowds —
+//
+//  (a) programmatic weak supervision: Snorkel-style keyword labeling
+//      functions act as the "annotators" (with abstention);
+//  (b) learning from noisy labels: exactly ONE noisy label per instance
+//      (the classic noisy-labels regime the paper proposes extending to).
+//
+// In both, the question is whether the EM + logic distillation machinery
+// still beats majority voting and the rule-free EM.
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "baselines/two_stage.h"
+#include "bench_common.h"
+#include "core/sentiment_rules.h"
+#include "crowd/weak_supervision.h"
+#include "eval/metrics.h"
+#include "inference/dawid_skene.h"
+#include "inference/majority_vote.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace lncl::bench {
+namespace {
+
+struct Cell {
+  std::vector<double> prediction;
+  std::vector<double> inference;
+};
+
+void RunSetting(const std::string& tag, const Scale& scale,
+                const SentimentSetup& setup,
+                const crowd::AnnotationSet& annotations,
+                const util::Config& config, std::map<std::string, Cell>* cells,
+                std::mutex* mu, util::ThreadPool* pool) {
+  const models::ModelFactory cnn = models::TextCnn::Factory(
+      SentimentModelConfig(), setup.corpus.embeddings);
+  const auto items = inference::ItemsPerInstance(setup.corpus.train);
+
+  // Deterministic truth-inference rows.
+  {
+    util::Rng rng(3);
+    const auto mv = inference::MajorityVote().Infer(annotations, items, &rng);
+    const auto ds = inference::DawidSkene().Infer(annotations, items, &rng);
+    std::unique_lock<std::mutex> lock(*mu);
+    (*cells)[tag + "|MV"].inference.push_back(
+        eval::PosteriorAccuracy(mv, setup.corpus.train));
+    (*cells)[tag + "|DS"].inference.push_back(
+        eval::PosteriorAccuracy(ds, setup.corpus.train));
+  }
+
+  for (int r = 0; r < scale.runs; ++r) {
+    const uint64_t seed = 41117ULL * (r + 1);
+    // MV-Classifier.
+    pool->Submit([=, &setup, &annotations] {
+      util::Rng rng(seed ^ 0x1);
+      baselines::TwoStageConfig ts;
+      ts.epochs = scale.epochs;
+      ts.batch_size = scale.batch;
+      ts.optimizer = SentimentOptimizer();
+      baselines::TwoStage m(ts, cnn);
+      inference::MajorityVote mv;
+      m.Fit(setup.corpus.train, annotations, mv, setup.corpus.dev, &rng);
+      const double acc =
+          eval::Accuracy(eval::ModelPredictor(*m.model()), setup.corpus.test);
+      std::unique_lock<std::mutex> lock(*mu);
+      (*cells)[tag + "|MV-Classifier"].prediction.push_back(acc);
+    });
+    // Rule-free EM (AggNet / w/o-Rule).
+    pool->Submit([=, &setup, &annotations] {
+      util::Rng rng(seed ^ 0x2);
+      core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
+      lcfg.k_schedule = core::ConstantK(0.0);
+      core::LogicLncl m(lcfg, cnn, nullptr);
+      m.Fit(setup.corpus.train, annotations, setup.corpus.dev, &rng);
+      const double acc = eval::Accuracy(
+          [&m](const data::Instance& x) { return m.PredictStudent(x); },
+          setup.corpus.test);
+      const double inf =
+          eval::PosteriorAccuracy(m.qf(), setup.corpus.train);
+      std::unique_lock<std::mutex> lock(*mu);
+      (*cells)[tag + "|w/o-Rule"].prediction.push_back(acc);
+      (*cells)[tag + "|w/o-Rule"].inference.push_back(inf);
+    });
+    // Logic-LNCL.
+    pool->Submit([=, &setup, &annotations] {
+      util::Rng rng(seed ^ 0x3);
+      std::unique_ptr<models::Model> model = cnn(&rng);
+      core::SentimentButRule rule(model.get(), setup.corpus.but_token);
+      core::LogicLncl m(SentimentLnclConfig(scale), std::move(model), &rule);
+      m.Fit(setup.corpus.train, annotations, setup.corpus.dev, &rng);
+      const double stu = eval::Accuracy(
+          [&m](const data::Instance& x) { return m.PredictStudent(x); },
+          setup.corpus.test);
+      const double tea = eval::Accuracy(
+          [&m](const data::Instance& x) { return m.PredictTeacher(x); },
+          setup.corpus.test);
+      const double inf =
+          eval::PosteriorAccuracy(m.qf(), setup.corpus.train);
+      std::unique_lock<std::mutex> lock(*mu);
+      (*cells)[tag + "|Logic-LNCL-student"].prediction.push_back(stu);
+      (*cells)[tag + "|Logic-LNCL-student"].inference.push_back(inf);
+      (*cells)[tag + "|Logic-LNCL-teacher"].prediction.push_back(tea);
+      (*cells)[tag + "|Logic-LNCL-teacher"].inference.push_back(inf);
+    });
+  }
+  (void)config;
+}
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  Scale scale = SentimentScale(config);
+  scale.runs = config.GetInt("runs", 3);
+  PrintConfigBanner("Extension — weak supervision & single noisy label",
+                    scale, config);
+
+  SentimentSetup setup = MakeSentimentSetup(scale, 1);
+  std::map<std::string, Cell> cells;
+  std::mutex mu;
+  util::ThreadPool pool(config.GetInt("threads", 0));
+
+  // (a) Labeling functions as annotators.
+  util::Rng lf_rng(71);
+  const auto functions = crowd::MakeSentimentLabelingFunctions(
+      setup.corpus.vocab, /*per_class=*/5, /*triggers_each=*/8,
+      /*fire_prob=*/0.9, &lf_rng);
+  const crowd::AnnotationSet lf_ann = crowd::ApplyLabelingFunctions(
+      functions, setup.corpus.train, 2, &lf_rng);
+  const crowd::LfCoverage cov =
+      crowd::MeasureCoverage(functions, lf_ann, setup.corpus.train);
+  std::cout << "labeling functions: " << functions.size() << ", coverage "
+            << util::FormatFixed(cov.covered * 100.0, 1) << "%, "
+            << util::FormatFixed(cov.votes_per_instance, 2)
+            << " votes/instance\n";
+
+  // (b) One noisy label per instance.
+  util::Rng one_rng(72);
+  crowd::CrowdConfig one_cfg;
+  one_cfg.num_annotators = scale.annotators;
+  one_cfg.avg_per_instance = 1.0;
+  one_cfg.min_per_instance = 1;
+  one_cfg.max_per_instance = 1;
+  auto one_sim =
+      crowd::CrowdSimulator::MakeClassification(one_cfg, 2, &one_rng);
+  const crowd::AnnotationSet one_ann =
+      one_sim.Annotate(setup.corpus.train, &one_rng);
+
+  RunSetting("weak", scale, setup, lf_ann, config, &cells, &mu, &pool);
+  RunSetting("noisy1", scale, setup, one_ann, config, &cells, &mu, &pool);
+  pool.Wait();
+
+  util::Table table("Extension: weak supervision / single noisy label");
+  table.SetHeader({"Setting", "Method", "Prediction", "Inference"});
+  for (const char* tag : {"weak", "noisy1"}) {
+    for (const char* method :
+         {"MV", "DS", "MV-Classifier", "w/o-Rule", "Logic-LNCL-student",
+          "Logic-LNCL-teacher"}) {
+      const Cell& c = cells[std::string(tag) + "|" + method];
+      table.AddRow({tag, method, Pct(c.prediction, true), Pct(c.inference)});
+    }
+    table.AddSeparator();
+  }
+  EmitTable(&table, "ext_weak_supervision");
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Figure 5 (the architecture panel): a layer-by-layer summary of
+// the two networks — Kim's sentence CNN and the Rodrigues & Pereira NER
+// tagger — with every parameter tensor and its shape, at both the reduced
+// default width and the paper's width.
+#include <iostream>
+
+#include "bench_common.h"
+#include "models/crf_tagger.h"
+#include "models/ner_tagger.h"
+#include "models/text_cnn.h"
+#include "util/logging.h"
+
+namespace lncl::bench {
+namespace {
+
+void Summarize(const std::string& title, models::Model* model) {
+  util::Table table(title);
+  table.SetHeader({"Parameter", "Shape", "Weights"});
+  size_t total = 0;
+  for (const nn::Parameter* p :
+       const_cast<models::Model*>(model)->Params()) {
+    table.AddRow({p->name,
+                  std::to_string(p->value.rows()) + " x " +
+                      std::to_string(p->value.cols()),
+                  std::to_string(p->value.size())});
+    total += p->value.size();
+  }
+  table.AddSeparator();
+  table.AddRow({"total", "", std::to_string(total)});
+  table.Print(std::cout);
+}
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  const bool full = config.GetBool("full", false);
+  util::Rng rng(1);
+
+  // Embedding stand-in just to instantiate the models.
+  data::SentimentGenConfig sent_gen;
+  data::NerGenConfig ner_gen;
+  if (full) {
+    sent_gen.embedding_dim = 300;  // paper: 300-d word2vec / GloVe
+    ner_gen.embedding_dim = 300;
+  }
+  const auto sent_corpus = data::GenerateSentimentCorpus(sent_gen, 1, 1, 1, &rng);
+  const auto ner_corpus = data::GenerateNerCorpus(ner_gen, 1, 1, 1, &rng);
+
+  models::TextCnnConfig cnn_config = SentimentModelConfig();
+  models::NerTaggerConfig tagger_config = NerModelConfig();
+  if (full) {
+    cnn_config.feature_maps = 100;  // Kim (2014)
+    tagger_config.conv_features = 512;  // Rodrigues & Pereira (2018)
+    tagger_config.gru_hidden = 50;
+  }
+
+  std::cout << "Figure 5 — network architectures ("
+            << (full ? "paper widths" : "reduced widths") << ")\n\n"
+            << "Left (sentiment): static " << sent_gen.embedding_dim
+            << "-d embeddings -> conv windows {3,4,5} x "
+            << cnn_config.feature_maps
+            << " maps (ReLU) -> max-over-time -> dropout 0.5 -> softmax\n";
+  models::TextCnn cnn(cnn_config, sent_corpus.embeddings, &rng);
+  Summarize("TextCnn (Kim 2014)", &cnn);
+
+  std::cout << "\nRight (NER): static " << ner_gen.embedding_dim
+            << "-d embeddings -> conv width 5 x " << tagger_config.conv_features
+            << " (ReLU) -> dropout 0.5 -> GRU(" << tagger_config.gru_hidden
+            << ") -> per-token softmax\n";
+  models::NerTagger tagger(tagger_config, ner_corpus.embeddings, &rng);
+  Summarize("NerTagger (Rodrigues & Pereira 2018)", &tagger);
+
+  std::cout << "\n(extension) Linear-chain CRF variant of the tagger:\n";
+  models::CrfTaggerConfig crf_config;
+  crf_config.conv_features = tagger_config.conv_features;
+  crf_config.gru_hidden = tagger_config.gru_hidden;
+  models::CrfTagger crf(crf_config, ner_corpus.embeddings, &rng);
+  Summarize("CrfTagger (Lample-style contrast)", &crf);
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

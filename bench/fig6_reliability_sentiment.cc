@@ -1,0 +1,95 @@
+// Reproduces Figure 6: annotator reliability estimated by Logic-LNCL on the
+// sentiment dataset. (a) estimated vs. true confusion matrices of the six
+// annotators with the most labels; (b) estimated vs. true scalar reliability
+// for every annotator with more than five labels, with their correlation.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sentiment_rules.h"
+#include "crowd/confusion.h"
+#include "eval/metrics.h"
+#include "eval/reliability.h"
+#include "inference/truth_inference.h"
+#include "util/logging.h"
+
+namespace lncl::bench {
+namespace {
+
+void PrintMatrixPair(const std::string& header,
+                     const crowd::ConfusionMatrix& estimated,
+                     const crowd::ConfusionMatrix& actual) {
+  std::cout << header << "\n";
+  const int k = estimated.num_classes();
+  for (int m = 0; m < k; ++m) {
+    std::cout << "  est [";
+    for (int n = 0; n < k; ++n) {
+      std::cout << (n ? " " : "") << util::FormatFixed(estimated(m, n), 2);
+    }
+    std::cout << "]   true [";
+    for (int n = 0; n < k; ++n) {
+      std::cout << (n ? " " : "") << util::FormatFixed(actual(m, n), 2);
+    }
+    std::cout << "]\n";
+  }
+}
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  const Scale scale = SentimentScale(config);
+  PrintConfigBanner("Figure 6 — Annotator reliability (sentiment)", scale,
+                    config);
+  const SentimentSetup setup = MakeSentimentSetup(scale, 1);
+
+  util::Rng rng(31);
+  std::unique_ptr<models::Model> model = models::TextCnn::Factory(
+      SentimentModelConfig(), setup.corpus.embeddings)(&rng);
+  core::SentimentButRule rule(model.get(), setup.corpus.but_token);
+  core::LogicLncl learner(SentimentLnclConfig(scale), std::move(model), &rule);
+  learner.Fit(setup.corpus.train, setup.annotations, setup.corpus.dev, &rng);
+
+  const crowd::ConfusionSet empirical =
+      crowd::EmpiricalConfusions(setup.annotations, setup.corpus.train);
+  const auto labels = setup.annotations.LabelsPerAnnotator();
+
+  // (a) The six most prolific annotators.
+  std::cout << "--- Fig 6(a): top-6 annotators by volume ---\n";
+  for (int j : eval::TopAnnotatorsByVolume(labels, 6)) {
+    PrintMatrixPair("annotator " + std::to_string(j) + " (" +
+                        std::to_string(labels[j]) + " labels)",
+                    learner.confusions()[j], empirical[j]);
+  }
+
+  // (b) Scalar reliability for every annotator with > 5 labels.
+  const eval::ReliabilityReport report = eval::CompareReliability(
+      learner.confusions(), empirical, labels, /*min_labels=*/5);
+  util::Table table("Figure 6(b): estimated vs true annotator reliability");
+  table.SetHeader({"Annotator", "Labels", "Estimated", "True", "AbsErr"});
+  int row = 0;
+  for (size_t j = 0; j < labels.size(); ++j) {
+    if (labels[j] <= 5) continue;
+    table.AddRow({std::to_string(j), std::to_string(labels[j]),
+                  util::FormatFixed(report.estimated[row], 3),
+                  util::FormatFixed(report.actual[row], 3),
+                  util::FormatFixed(
+                      std::fabs(report.estimated[row] - report.actual[row]),
+                      3)});
+    ++row;
+  }
+  EmitTable(&table, "fig6_reliability_sentiment");
+  std::cout << "pearson(estimated, true) = "
+            << util::FormatFixed(report.pearson_correlation, 3)
+            << "   mean |err| = "
+            << util::FormatFixed(report.mean_abs_reliability_error, 3)
+            << "   mean matrix distance = "
+            << util::FormatFixed(report.mean_matrix_distance, 3) << "\n";
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

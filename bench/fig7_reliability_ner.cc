@@ -1,0 +1,105 @@
+// Reproduces Figure 7: annotator reliability estimated by Logic-LNCL on the
+// NER dataset. (a) estimated vs. true 9x9 confusion matrices of the four
+// most prolific annotators (printed as diagonals plus the largest
+// off-diagonal confusions); (b) estimated vs. true scalar reliability for
+// all annotators.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ner_rules.h"
+#include "crowd/confusion.h"
+#include "data/bio.h"
+#include "eval/metrics.h"
+#include "eval/reliability.h"
+#include "inference/truth_inference.h"
+#include "util/logging.h"
+
+namespace lncl::bench {
+namespace {
+
+void PrintMatrixPair(const std::string& header,
+                     const crowd::ConfusionMatrix& estimated,
+                     const crowd::ConfusionMatrix& actual) {
+  std::cout << header << "\n  diag (est | true):\n";
+  for (int m = 0; m < estimated.num_classes(); ++m) {
+    std::cout << "    " << data::BioLabelName(m) << ": "
+              << util::FormatFixed(estimated(m, m), 2) << " | "
+              << util::FormatFixed(actual(m, m), 2) << "\n";
+  }
+  // Largest true off-diagonal confusion and its estimate.
+  int bm = 0, bn = 1;
+  float best = -1.0f;
+  for (int m = 0; m < actual.num_classes(); ++m) {
+    for (int n = 0; n < actual.num_classes(); ++n) {
+      if (m != n && actual(m, n) > best) {
+        best = actual(m, n);
+        bm = m;
+        bn = n;
+      }
+    }
+  }
+  std::cout << "  top true confusion " << data::BioLabelName(bm) << "->"
+            << data::BioLabelName(bn) << ": true "
+            << util::FormatFixed(actual(bm, bn), 2) << ", est "
+            << util::FormatFixed(estimated(bm, bn), 2) << "\n";
+}
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  const Scale scale = NerScale(config);
+  PrintConfigBanner("Figure 7 — Annotator reliability (NER)", scale, config);
+  const NerSetup setup = MakeNerSetup(scale, 2);
+
+  util::Rng rng(37);
+  const auto projector = core::MakeNerRuleProjector();
+  core::LogicLncl learner(
+      NerLnclConfig(scale),
+      models::NerTagger::Factory(NerModelConfig(), setup.corpus.embeddings),
+      projector.get());
+  learner.Fit(setup.corpus.train, setup.annotations, setup.corpus.dev, &rng);
+
+  const crowd::ConfusionSet empirical =
+      crowd::EmpiricalConfusions(setup.annotations, setup.corpus.train);
+  const auto labels = setup.annotations.LabelsPerAnnotator();
+
+  std::cout << "--- Fig 7(a): top-4 annotators by volume ---\n";
+  for (int j : eval::TopAnnotatorsByVolume(labels, 4)) {
+    PrintMatrixPair("annotator " + std::to_string(j) + " (" +
+                        std::to_string(labels[j]) + " token labels)",
+                    learner.confusions()[j], empirical[j]);
+  }
+
+  // (b) All annotators.
+  const eval::ReliabilityReport report = eval::CompareReliability(
+      learner.confusions(), empirical, labels, /*min_labels=*/0);
+  util::Table table("Figure 7(b): estimated vs true annotator reliability");
+  table.SetHeader({"Annotator", "Labels", "Estimated", "True", "AbsErr"});
+  int row = 0;
+  for (size_t j = 0; j < labels.size(); ++j) {
+    if (labels[j] <= 0) continue;
+    table.AddRow({std::to_string(j), std::to_string(labels[j]),
+                  util::FormatFixed(report.estimated[row], 3),
+                  util::FormatFixed(report.actual[row], 3),
+                  util::FormatFixed(
+                      std::fabs(report.estimated[row] - report.actual[row]),
+                      3)});
+    ++row;
+  }
+  EmitTable(&table, "fig7_reliability_ner");
+  std::cout << "pearson(estimated, true) = "
+            << util::FormatFixed(report.pearson_correlation, 3)
+            << "   mean |err| = "
+            << util::FormatFixed(report.mean_abs_reliability_error, 3)
+            << "   mean matrix distance = "
+            << util::FormatFixed(report.mean_matrix_distance, 3) << "\n";
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

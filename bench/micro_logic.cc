@@ -1,0 +1,103 @@
+// google-benchmark micro-benchmarks for the logic substrate and the
+// EM-adjacent kernels: Eq. 15 projection, forward-backward sequence
+// projection, q_a computation and the confusion update.
+#include <benchmark/benchmark.h>
+
+#include "core/ner_rules.h"
+#include "core/trainer.h"
+#include "crowd/confusion.h"
+#include "logic/posterior_reg.h"
+#include "logic/sequence_rules.h"
+#include "util/rng.h"
+
+namespace lncl {
+namespace {
+
+util::Matrix RandomDistributions(int rows, int k, util::Rng* rng) {
+  util::Matrix q(rows, k);
+  for (int r = 0; r < rows; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < k; ++c) {
+      q(r, c) = static_cast<float>(rng->Uniform(0.05, 1.0));
+      sum += q(r, c);
+    }
+    for (int c = 0; c < k; ++c) q(r, c) /= sum;
+  }
+  return q;
+}
+
+void BM_ProjectIndependent(benchmark::State& state) {
+  util::Rng rng(1);
+  const int rows = static_cast<int>(state.range(0));
+  const util::Matrix q = RandomDistributions(rows, 2, &rng);
+  util::Matrix pen(rows, 2);
+  for (int r = 0; r < rows; ++r) pen(r, 0) = 0.5f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::ProjectIndependent(q, pen, 5.0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ProjectIndependent)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_SequenceProjection(benchmark::State& state) {
+  util::Rng rng(2);
+  const int t_len = static_cast<int>(state.range(0));
+  const logic::SequenceRuleProjector projector(
+      core::BuildNerTransitionPenalty());
+  const util::Matrix q = RandomDistributions(t_len, 9, &rng);
+  data::Instance x;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(projector.Project(x, q, 5.0));
+  }
+  state.SetItemsProcessed(state.iterations() * t_len);
+}
+BENCHMARK(BM_SequenceProjection)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ComputeQa(benchmark::State& state) {
+  util::Rng rng(3);
+  const int t_len = 14;
+  const int annotators = static_cast<int>(state.range(0));
+  const util::Matrix probs = RandomDistributions(t_len, 9, &rng);
+  crowd::ConfusionSet confusions(annotators, crowd::ConfusionMatrix(9, 0.8));
+  crowd::InstanceAnnotations ann;
+  for (int j = 0; j < annotators; ++j) {
+    crowd::AnnotatorLabels e;
+    e.annotator = j;
+    for (int t = 0; t < t_len; ++t) e.labels.push_back(rng.UniformInt(9));
+    ann.entries.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeQa(probs, ann, confusions));
+  }
+  state.SetItemsProcessed(state.iterations() * t_len * annotators);
+}
+BENCHMARK(BM_ComputeQa)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_UpdateConfusions(benchmark::State& state) {
+  util::Rng rng(4);
+  const int instances = static_cast<int>(state.range(0));
+  const int annotators = 50;
+  crowd::AnnotationSet ann(instances, annotators, 2);
+  std::vector<util::Matrix> qf;
+  for (int i = 0; i < instances; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      crowd::AnnotatorLabels e;
+      e.annotator = rng.UniformInt(annotators);
+      e.labels.push_back(rng.UniformInt(2));
+      ann.instance(i).entries.push_back(std::move(e));
+    }
+    qf.push_back(RandomDistributions(1, 2, &rng));
+  }
+  crowd::ConfusionSet confusions;
+  for (auto _ : state) {
+    core::UpdateConfusions(qf, ann, 0.01, &confusions);
+    benchmark::DoNotOptimize(confusions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * instances);
+}
+BENCHMARK(BM_UpdateConfusions)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace lncl
+
+BENCHMARK_MAIN();

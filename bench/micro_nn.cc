@@ -1,0 +1,134 @@
+// google-benchmark micro-benchmarks for the neural-network substrate:
+// forward/backward costs of the layers that dominate Logic-LNCL training.
+#include <benchmark/benchmark.h>
+
+#include "data/embedding.h"
+#include "models/ner_tagger.h"
+#include "models/text_cnn.h"
+#include "nn/conv1d.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/softmax.h"
+#include "util/rng.h"
+
+namespace lncl {
+namespace {
+
+util::Matrix RandomMatrix(int rows, int cols, util::Rng* rng) {
+  util::Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<float>(rng->Gaussian());
+    }
+  }
+  return m;
+}
+
+void BM_LinearForward(benchmark::State& state) {
+  util::Rng rng(1);
+  const int dim = static_cast<int>(state.range(0));
+  nn::Linear layer("fc", dim, dim, &rng);
+  util::Vector x(dim, 0.5f), y;
+  for (auto _ : state) {
+    layer.Forward(x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_LinearForward)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Conv1dForwardBackward(benchmark::State& state) {
+  util::Rng rng(2);
+  const int t_len = static_cast<int>(state.range(0));
+  nn::Conv1d conv("conv", 5, 32, 64, nn::Conv1d::Padding::kSame, &rng);
+  const util::Matrix x = RandomMatrix(t_len, 32, &rng);
+  util::Matrix y;
+  for (auto _ : state) {
+    conv.Forward(x, &y);
+    conv.Backward(x, y, nullptr);
+    nn::ZeroGrads(conv.Params());
+  }
+  state.SetItemsProcessed(state.iterations() * t_len);
+}
+BENCHMARK(BM_Conv1dForwardBackward)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_GruForwardBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  const int t_len = static_cast<int>(state.range(0));
+  nn::Gru gru("gru", 64, 32, &rng);
+  const util::Matrix x = RandomMatrix(t_len, 64, &rng);
+  nn::Gru::Cache cache;
+  util::Matrix h, grad_h(t_len, 32, 0.01f);
+  for (auto _ : state) {
+    gru.Forward(x, &cache, &h);
+    gru.Backward(x, cache, grad_h, nullptr);
+    nn::ZeroGrads(gru.Params());
+  }
+  state.SetItemsProcessed(state.iterations() * t_len);
+}
+BENCHMARK(BM_GruForwardBackward)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  util::Rng rng(4);
+  const util::Matrix logits =
+      RandomMatrix(static_cast<int>(state.range(0)), 9, &rng);
+  util::Matrix probs;
+  for (auto _ : state) {
+    nn::SoftmaxRows(logits, &probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(16)->Arg(128);
+
+void BM_TextCnnTrainStep(benchmark::State& state) {
+  util::Rng rng(5);
+  auto emb = std::make_shared<data::EmbeddingTable>(500, 32);
+  for (int v = 1; v < 500; ++v) {
+    for (int d = 0; d < 32; ++d) {
+      emb->table()(v, d) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  models::TextCnnConfig config;
+  models::TextCnn cnn(config, emb, &rng);
+  data::Instance x;
+  for (int i = 0; i < 18; ++i) x.tokens.push_back(1 + rng.UniformInt(499));
+  util::Matrix q(1, 2);
+  q(0, 0) = 0.7f;
+  q(0, 1) = 0.3f;
+  for (auto _ : state) {
+    cnn.ForwardTrain(x, &rng);
+    cnn.BackwardSoftTarget(q, 1.0f);
+    nn::ZeroGrads(cnn.Params());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TextCnnTrainStep);
+
+void BM_NerTaggerTrainStep(benchmark::State& state) {
+  util::Rng rng(6);
+  auto emb = std::make_shared<data::EmbeddingTable>(500, 32);
+  for (int v = 1; v < 500; ++v) {
+    for (int d = 0; d < 32; ++d) {
+      emb->table()(v, d) = static_cast<float>(rng.Gaussian());
+    }
+  }
+  models::NerTaggerConfig config;
+  models::NerTagger tagger(config, emb, &rng);
+  data::Instance x;
+  const int t_len = 14;
+  for (int i = 0; i < t_len; ++i) x.tokens.push_back(1 + rng.UniformInt(499));
+  util::Matrix q(t_len, 9);
+  for (int t = 0; t < t_len; ++t) q(t, t % 9) = 1.0f;
+  for (auto _ : state) {
+    tagger.ForwardTrain(x, &rng);
+    tagger.BackwardSoftTarget(q, 1.0f);
+    nn::ZeroGrads(tagger.Params());
+  }
+  state.SetItemsProcessed(state.iterations() * t_len);
+}
+BENCHMARK(BM_NerTaggerTrainStep);
+
+}  // namespace
+}  // namespace lncl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+// Reproduces the Section VI-B "Advantage of sample-efficiency" experiment:
+// Logic-LNCL (student/teacher) trained on shrinking subsets of the training
+// data, against the strongest baseline trained on ALL of it (AggNet on
+// sentiment, CL(MW, 5) on NER). The paper finds both variants match or beat
+// the full-data baseline while using only ~66-95% of the samples.
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "baselines/crowd_layer.h"
+#include "bench_common.h"
+#include "core/ner_rules.h"
+#include "core/sentiment_rules.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace lncl::bench {
+namespace {
+
+constexpr double kFractions[] = {0.5, 0.65, 0.8, 1.0};
+
+struct Cell {
+  std::vector<double> student;
+  std::vector<double> teacher;
+  std::vector<double> inference;
+};
+
+// Crowd labels restricted to a subset of instances.
+crowd::AnnotationSet SubsetAnnotations(const crowd::AnnotationSet& ann,
+                                       const std::vector<int>& indices) {
+  crowd::AnnotationSet out(static_cast<int>(indices.size()),
+                           ann.num_annotators(), ann.num_classes());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out.instance(static_cast<int>(i)) = ann.instance(indices[i]);
+  }
+  return out;
+}
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  Scale sent_scale = SentimentScale(config);
+  Scale ner_scale = NerScale(config);
+  sent_scale.runs = config.GetInt("runs", 3);
+  ner_scale.runs = sent_scale.runs;
+  PrintConfigBanner("Sample efficiency (Section VI-B)", sent_scale, config);
+
+  std::mutex mu;
+  std::map<std::string, Cell> cells;
+  std::vector<double> sent_baseline, ner_baseline;
+  util::ThreadPool pool(config.GetInt("threads", 0));
+
+  // ---------------------------------------------------------- Sentiment --
+  auto* sent = new SentimentSetup(MakeSentimentSetup(sent_scale, 1));
+  auto* cnn = new models::ModelFactory(models::TextCnn::Factory(
+      SentimentModelConfig(), sent->corpus.embeddings));
+  for (int r = 0; r < sent_scale.runs; ++r) {
+    const uint64_t seed = 33301ULL * (r + 1);
+    // Full-data AggNet baseline.
+    pool.Submit([&, seed] {
+      util::Rng rng(seed ^ 0x1);
+      core::LogicLnclConfig lcfg = SentimentLnclConfig(sent_scale);
+      lcfg.k_schedule = core::ConstantK(0.0);
+      core::LogicLncl m(lcfg, *cnn, nullptr);
+      m.Fit(sent->corpus.train, sent->annotations, sent->corpus.dev, &rng);
+      const double acc = eval::Accuracy(
+          [&m](const data::Instance& x) { return m.PredictStudent(x); },
+          sent->corpus.test);
+      std::unique_lock<std::mutex> lock(mu);
+      sent_baseline.push_back(acc);
+    });
+    for (const double frac : kFractions) {
+      pool.Submit([&, seed, frac] {
+        util::Rng rng(seed ^ static_cast<uint64_t>(frac * 1000));
+        const auto idx = data::SampleSubset(
+            sent->corpus.train,
+            static_cast<int>(frac * sent->corpus.train.size()), &rng);
+        const data::Dataset sub = data::Subset(sent->corpus.train, idx);
+        const crowd::AnnotationSet sub_ann =
+            SubsetAnnotations(sent->annotations, idx);
+        std::unique_ptr<models::Model> model = (*cnn)(&rng);
+        core::SentimentButRule rule(model.get(), sent->corpus.but_token);
+        core::LogicLncl m(SentimentLnclConfig(sent_scale), std::move(model),
+                          &rule);
+        m.Fit(sub, sub_ann, sent->corpus.dev, &rng);
+        const double stu = eval::Accuracy(
+            [&m](const data::Instance& x) { return m.PredictStudent(x); },
+            sent->corpus.test);
+        const double tea = eval::Accuracy(
+            [&m](const data::Instance& x) { return m.PredictTeacher(x); },
+            sent->corpus.test);
+        const double inf = eval::PosteriorAccuracy(m.qf(), sub);
+        std::unique_lock<std::mutex> lock(mu);
+        Cell& c = cells["sent|" + util::FormatFixed(frac, 2)];
+        c.student.push_back(stu);
+        c.teacher.push_back(tea);
+        c.inference.push_back(inf);
+      });
+    }
+  }
+
+  // ---------------------------------------------------------------- NER --
+  auto* ner = new NerSetup(MakeNerSetup(ner_scale, 2));
+  auto* tagger = new models::ModelFactory(models::NerTagger::Factory(
+      NerModelConfig(), ner->corpus.embeddings));
+  auto* projector = new std::unique_ptr<logic::SequenceRuleProjector>(
+      core::MakeNerRuleProjector());
+  for (int r = 0; r < ner_scale.runs; ++r) {
+    const uint64_t seed = 77801ULL * (r + 1);
+    // Full-data CL(MW, 5) baseline.
+    pool.Submit([&, seed] {
+      util::Rng rng(seed ^ 0x2);
+      baselines::CrowdLayerConfig clcfg;
+      clcfg.kind = baselines::CrowdLayerConfig::Kind::kMW;
+      clcfg.pretrain_epochs = 5;
+      clcfg.epochs = ner_scale.epochs;
+      clcfg.batch_size = ner_scale.batch;
+      clcfg.patience = ner_scale.patience;
+      clcfg.optimizer = NerOptimizer();
+      baselines::CrowdLayer m(clcfg, *tagger);
+      m.Fit(ner->corpus.train, ner->annotations, ner->corpus.dev, &rng);
+      const double f1 =
+          eval::SpanF1(eval::ModelPredictor(*m.model()), ner->corpus.test).f1;
+      std::unique_lock<std::mutex> lock(mu);
+      ner_baseline.push_back(f1);
+    });
+    for (const double frac : kFractions) {
+      pool.Submit([&, seed, frac] {
+        util::Rng rng(seed ^ static_cast<uint64_t>(frac * 1000));
+        const auto idx = data::SampleSubset(
+            ner->corpus.train,
+            static_cast<int>(frac * ner->corpus.train.size()), &rng);
+        const data::Dataset sub = data::Subset(ner->corpus.train, idx);
+        const crowd::AnnotationSet sub_ann =
+            SubsetAnnotations(ner->annotations, idx);
+        core::LogicLncl m(NerLnclConfig(ner_scale), *tagger,
+                          projector->get());
+        m.Fit(sub, sub_ann, ner->corpus.dev, &rng);
+        const double stu = eval::SpanF1(
+            [&m](const data::Instance& x) { return m.PredictStudent(x); },
+            ner->corpus.test).f1;
+        const double tea = eval::SpanF1(
+            [&m](const data::Instance& x) { return m.PredictTeacher(x); },
+            ner->corpus.test).f1;
+        const double inf = eval::PosteriorSpanF1(m.qf(), sub).f1;
+        std::unique_lock<std::mutex> lock(mu);
+        Cell& c = cells["ner|" + util::FormatFixed(frac, 2)];
+        c.student.push_back(stu);
+        c.teacher.push_back(tea);
+        c.inference.push_back(inf);
+      });
+    }
+  }
+  pool.Wait();
+
+  util::Table table("Sample efficiency: Logic-LNCL on data subsets");
+  table.SetHeader({"Task", "Train frac", "Student", "Teacher", "Inference",
+                   "Full-data baseline"});
+  for (const char* task : {"sent", "ner"}) {
+    const std::vector<double>& baseline =
+        std::string(task) == "sent" ? sent_baseline : ner_baseline;
+    const std::string baseline_name =
+        std::string(task) == "sent" ? "AggNet" : "CL (MW, 5)";
+    for (const double frac : kFractions) {
+      const Cell& c = cells[std::string(task) + "|" +
+                            util::FormatFixed(frac, 2)];
+      table.AddRow({task, util::FormatFixed(frac, 2), Pct(c.student, true),
+                    Pct(c.teacher, true), Pct(c.inference),
+                    baseline_name + " = " + Pct(baseline)});
+    }
+    table.AddSeparator();
+  }
+  EmitTable(&table, "sample_efficiency");
+  std::cout << "Paper's finding: the student/teacher variants match the best "
+               "full-data baseline\nusing only part of the training data "
+               "(sentiment 86%/66%, NER 95%/82%).\n";
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,413 @@
+// Reproduces Table IV: the ablation study on both datasets.
+//
+//   MV-Rule / GLAD-Rule (AggNet-Rule on NER): rule distillation with a FIXED
+//       stage-1 estimate in place of the iteratively refined q_a;
+//   w/o-Rule: Logic-LNCL with the logic-knowledge distillation removed
+//       (k = 0; equals AggNet);
+//   MV-t: the plain MV-Classifier with the teacher trick bolted on at test
+//       time;
+//   our-other-rules: the framework with deliberately weak/wrong rules —
+//       "however" instead of "but" for sentiment; the unrealistic
+//       I-X => B-X-only transition rule for NER;
+//   Logic-LNCL student/teacher: the full method.
+//
+// Reported: prediction (test) and inference (train) accuracy / span-F1.
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "baselines/fixed_target.h"
+#include "baselines/two_stage.h"
+#include "bench_common.h"
+#include "core/ner_rules.h"
+#include "core/sentiment_rules.h"
+#include "eval/metrics.h"
+#include "inference/glad.h"
+#include "inference/majority_vote.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace lncl::bench {
+namespace {
+
+struct Cell {
+  std::vector<double> prediction;
+  std::vector<double> inference;
+};
+
+class Collector {
+ public:
+  void Add(const std::string& name, const std::string& dataset,
+           double prediction, double inference) {
+    std::unique_lock<std::mutex> lock(mu_);
+    Cell& c = cells_[name + "|" + dataset];
+    c.prediction.push_back(prediction);
+    c.inference.push_back(inference);
+  }
+  Cell Get(const std::string& name, const std::string& dataset) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cells_[name + "|" + dataset];
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, Cell> cells_;
+};
+
+// ---------------------------------------------------------------- Sentiment
+
+void RunSentiment(const Scale& scale, util::ThreadPool* pool,
+                  Collector* collect) {
+  // Setup is shared by reference across jobs; it must outlive them, so it is
+  // heap-allocated and leaked deliberately (process-lifetime bench data).
+  auto* setup = new SentimentSetup(MakeSentimentSetup(scale, 1));
+  const auto items = inference::ItemsPerInstance(setup->corpus.train);
+  auto* cnn = new models::ModelFactory(models::TextCnn::Factory(
+      SentimentModelConfig(), setup->corpus.embeddings));
+
+  util::Rng post_rng(17);
+  auto* mv_posteriors = new std::vector<util::Matrix>(
+      inference::MajorityVote().Infer(setup->annotations, items, &post_rng));
+  auto* glad_posteriors = new std::vector<util::Matrix>(
+      inference::Glad().Infer(setup->annotations, items, &post_rng));
+  const double mv_inf =
+      eval::PosteriorAccuracy(*mv_posteriors, setup->corpus.train);
+  const double glad_inf =
+      eval::PosteriorAccuracy(*glad_posteriors, setup->corpus.train);
+
+  for (int r = 0; r < scale.runs; ++r) {
+    const uint64_t seed = 6101ULL * (r + 1);
+
+    // MV-Rule / GLAD-Rule: fixed-target distillation.
+    struct FixedVariant {
+      const char* name;
+      const std::vector<util::Matrix>* base;
+      double base_inference;
+    };
+    const FixedVariant fixed[] = {
+        {"MV-Rule", mv_posteriors, mv_inf},
+        {"GLAD-Rule", glad_posteriors, glad_inf},
+    };
+    for (const FixedVariant& v : fixed) {
+      pool->Submit([=] {
+        util::Rng rng(seed ^ 0x9a);
+        baselines::FixedTargetConfig fcfg;
+        fcfg.epochs = scale.epochs;
+        fcfg.batch_size = scale.batch;
+        fcfg.patience = scale.patience;
+        fcfg.k_schedule = core::SentimentKSchedule();
+        fcfg.optimizer = SentimentOptimizer();
+        std::unique_ptr<models::Model> model = (*cnn)(&rng);
+        core::SentimentButRule rule(model.get(), setup->corpus.but_token);
+        baselines::FixedTargetTrainer m(fcfg, std::move(model), &rule);
+        const auto result =
+            m.Fit(setup->corpus.train, *v.base, setup->corpus.dev, &rng);
+        collect->Add(v.name, "sent",
+                     eval::Accuracy(
+                         [&m](const data::Instance& x) { return m.Predict(x); },
+                         setup->corpus.test),
+                     eval::PosteriorAccuracy(result.qf, setup->corpus.train));
+      });
+    }
+
+    // w/o-Rule (AggNet).
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xab);
+      core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
+      lcfg.k_schedule = core::ConstantK(0.0);
+      core::LogicLncl m(lcfg, *cnn, nullptr);
+      m.Fit(setup->corpus.train, setup->annotations, setup->corpus.dev, &rng);
+      collect->Add("w/o-Rule", "sent",
+                   eval::Accuracy(
+                       [&m](const data::Instance& x) {
+                         return m.PredictStudent(x);
+                       },
+                       setup->corpus.test),
+                   eval::PosteriorAccuracy(m.qf(), setup->corpus.train));
+    });
+
+    // MV-t: plain MV classifier + teacher trick at test time.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xbc);
+      baselines::TwoStageConfig ts;
+      ts.epochs = scale.epochs;
+      ts.batch_size = scale.batch;
+      ts.patience = scale.patience;
+      ts.optimizer = SentimentOptimizer();
+      baselines::TwoStage m(ts, *cnn);
+      m.FitOnTargets(setup->corpus.train,
+                     baselines::HardenTargets(*mv_posteriors),
+                     setup->corpus.dev, &rng);
+      core::SentimentButRule rule(m.model(), setup->corpus.but_token);
+      collect->Add("MV-t", "sent",
+                   eval::Accuracy(
+                       [&](const data::Instance& x) {
+                         return m.PredictWithRules(x, rule, 5.0);
+                       },
+                       setup->corpus.test),
+                   mv_inf);
+    });
+
+    // our-other-rules: the weak "however" rule.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xcd);
+      std::unique_ptr<models::Model> model = (*cnn)(&rng);
+      core::SentimentButRule rule(model.get(), setup->corpus.however_token);
+      const core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
+      core::LogicLncl m(lcfg, std::move(model), &rule);
+      m.Fit(setup->corpus.train, setup->annotations, setup->corpus.dev, &rng);
+      const double inf =
+          eval::PosteriorAccuracy(m.qf(), setup->corpus.train);
+      collect->Add("our-other-rules-student", "sent",
+                   eval::Accuracy(
+                       [&m](const data::Instance& x) {
+                         return m.PredictStudent(x);
+                       },
+                       setup->corpus.test),
+                   inf);
+      collect->Add("our-other-rules-teacher", "sent",
+                   eval::Accuracy(
+                       [&m](const data::Instance& x) {
+                         return m.PredictTeacher(x);
+                       },
+                       setup->corpus.test),
+                   inf);
+    });
+
+    // Full Logic-LNCL.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xde);
+      std::unique_ptr<models::Model> model = (*cnn)(&rng);
+      core::SentimentButRule rule(model.get(), setup->corpus.but_token);
+      const core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
+      core::LogicLncl m(lcfg, std::move(model), &rule);
+      m.Fit(setup->corpus.train, setup->annotations, setup->corpus.dev, &rng);
+      const double inf =
+          eval::PosteriorAccuracy(m.qf(), setup->corpus.train);
+      collect->Add("Logic-LNCL-student", "sent",
+                   eval::Accuracy(
+                       [&m](const data::Instance& x) {
+                         return m.PredictStudent(x);
+                       },
+                       setup->corpus.test),
+                   inf);
+      collect->Add("Logic-LNCL-teacher", "sent",
+                   eval::Accuracy(
+                       [&m](const data::Instance& x) {
+                         return m.PredictTeacher(x);
+                       },
+                       setup->corpus.test),
+                   inf);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------- NER
+
+void RunNer(const util::Config& config, const Scale& scale,
+            util::ThreadPool* pool, Collector* collect) {
+  auto* setup = new NerSetup(MakeNerSetup(scale, 2));
+  const auto items = inference::ItemsPerInstance(setup->corpus.train);
+  auto* tagger = new models::ModelFactory(models::NerTagger::Factory(
+      NerModelConfig(), setup->corpus.embeddings));
+  auto* good_rule = new std::unique_ptr<logic::SequenceRuleProjector>(
+      core::MakeNerRuleProjector());
+  auto* bad_rule = new std::unique_ptr<logic::SequenceRuleProjector>(
+      core::MakeBadNerRuleProjector());
+
+  util::Rng post_rng(19);
+  auto* mv_posteriors = new std::vector<util::Matrix>(
+      inference::MajorityVote().Infer(setup->annotations, items, &post_rng));
+  const double mv_inf =
+      eval::PosteriorSpanF1(*mv_posteriors, setup->corpus.train).f1;
+
+  for (int r = 0; r < scale.runs; ++r) {
+    const uint64_t seed = 9203ULL * (r + 1);
+
+    // MV-Rule (fixed MV targets + transition rules).
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0x9a);
+      baselines::FixedTargetConfig fcfg;
+      fcfg.epochs = scale.epochs;
+      fcfg.batch_size = scale.batch;
+      fcfg.patience = scale.patience;
+      fcfg.k_schedule = core::NerKSchedule();
+      fcfg.optimizer = NerOptimizer();
+      baselines::FixedTargetTrainer m(fcfg, *tagger, good_rule->get());
+      const auto result =
+          m.Fit(setup->corpus.train, *mv_posteriors, setup->corpus.dev, &rng);
+      collect->Add("MV-Rule", "ner",
+                   eval::SpanF1(
+                       [&m](const data::Instance& x) { return m.Predict(x); },
+                       setup->corpus.test)
+                       .f1,
+                   eval::PosteriorSpanF1(result.qf, setup->corpus.train).f1);
+    });
+
+    // AggNet-Rule (the paper's NER replacement for GLAD-Rule) + w/o-Rule:
+    // one AggNet fit provides both the w/o-Rule row and the fixed targets.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xab);
+      core::LogicLnclConfig lcfg = NerLnclConfig(scale);
+      lcfg.k_schedule = core::ConstantK(0.0);
+      core::LogicLncl aggnet(lcfg, *tagger, nullptr);
+      aggnet.Fit(setup->corpus.train, setup->annotations, setup->corpus.dev,
+                 &rng);
+      collect->Add("w/o-Rule", "ner",
+                   eval::SpanF1(
+                       [&aggnet](const data::Instance& x) {
+                         return aggnet.PredictStudent(x);
+                       },
+                       setup->corpus.test)
+                       .f1,
+                   eval::PosteriorSpanF1(aggnet.qf(), setup->corpus.train).f1);
+
+      baselines::FixedTargetConfig fcfg;
+      fcfg.epochs = scale.epochs;
+      fcfg.batch_size = scale.batch;
+      fcfg.patience = scale.patience;
+      fcfg.k_schedule = core::NerKSchedule();
+      fcfg.optimizer = NerOptimizer();
+      baselines::FixedTargetTrainer m(fcfg, *tagger, good_rule->get());
+      const auto result =
+          m.Fit(setup->corpus.train, aggnet.qf(), setup->corpus.dev, &rng);
+      collect->Add("GLAD-Rule", "ner",
+                   eval::SpanF1(
+                       [&m](const data::Instance& x) { return m.Predict(x); },
+                       setup->corpus.test)
+                       .f1,
+                   eval::PosteriorSpanF1(result.qf, setup->corpus.train).f1);
+    });
+
+    // MV-t.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xbc);
+      baselines::TwoStageConfig ts;
+      ts.epochs = scale.epochs;
+      ts.batch_size = scale.batch;
+      ts.patience = scale.patience;
+      ts.optimizer = NerOptimizer();
+      baselines::TwoStage m(ts, *tagger);
+      m.FitOnTargets(setup->corpus.train,
+                     baselines::HardenTargets(*mv_posteriors),
+                     setup->corpus.dev, &rng);
+      collect->Add("MV-t", "ner",
+                   eval::SpanF1(
+                       [&](const data::Instance& x) {
+                         return m.PredictWithRules(x, **good_rule, 5.0);
+                       },
+                       setup->corpus.test)
+                       .f1,
+                   mv_inf);
+    });
+
+    // our-other-rules: the unrealistic transition rule.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xcd);
+      const core::LogicLnclConfig lcfg = NerLnclConfig(scale);
+      core::LogicLncl m(lcfg, *tagger, bad_rule->get());
+      m.Fit(setup->corpus.train, setup->annotations, setup->corpus.dev, &rng);
+      const double inf =
+          eval::PosteriorSpanF1(m.qf(), setup->corpus.train).f1;
+      collect->Add("our-other-rules-student", "ner",
+                   eval::SpanF1(
+                       [&m](const data::Instance& x) {
+                         return m.PredictStudent(x);
+                       },
+                       setup->corpus.test)
+                       .f1,
+                   inf);
+      collect->Add("our-other-rules-teacher", "ner",
+                   eval::SpanF1(
+                       [&m](const data::Instance& x) {
+                         return m.PredictTeacher(x);
+                       },
+                       setup->corpus.test)
+                       .f1,
+                   inf);
+    });
+
+    // Full Logic-LNCL.
+    pool->Submit([=] {
+      util::Rng rng(seed ^ 0xde);
+      const core::LogicLnclConfig lcfg = NerLnclConfig(scale);
+      core::LogicLncl m(lcfg, *tagger, good_rule->get());
+      m.Fit(setup->corpus.train, setup->annotations, setup->corpus.dev, &rng);
+      const double inf =
+          eval::PosteriorSpanF1(m.qf(), setup->corpus.train).f1;
+      collect->Add("Logic-LNCL-student", "ner",
+                   eval::SpanF1(
+                       [&m](const data::Instance& x) {
+                         return m.PredictStudent(x);
+                       },
+                       setup->corpus.test)
+                       .f1,
+                   inf);
+      collect->Add("Logic-LNCL-teacher", "ner",
+                   eval::SpanF1(
+                       [&m](const data::Instance& x) {
+                         return m.PredictTeacher(x);
+                       },
+                       setup->corpus.test)
+                       .f1,
+                   inf);
+    });
+  }
+  (void)config;
+}
+
+void Run(int argc, char** argv) {
+  const util::Config config(argc, argv);
+  Scale sent_scale = SentimentScale(config);
+  Scale ner_scale = NerScale(config);
+  PrintConfigBanner("Table IV — Ablation study (both datasets)", sent_scale,
+                    config);
+
+  Collector collect;
+  util::ThreadPool pool(config.GetInt("threads", 0));
+  RunSentiment(sent_scale, &pool, &collect);
+  RunNer(config, ner_scale, &pool, &collect);
+  pool.Wait();
+
+  util::Table table("Table IV: Ablation study (accuracy / span-F1, %)");
+  table.SetHeader({"Method", "Sent-Pred", "Sent-Inf", "NER-Pred", "NER-Inf",
+                   "Average"});
+  auto add_row = [&](const std::string& name) {
+    const Cell sent = collect.Get(name, "sent");
+    const Cell ner = collect.Get(name, "ner");
+    double total = 0.0;
+    int parts = 0;
+    for (const auto* v : {&sent.prediction, &sent.inference, &ner.prediction,
+                          &ner.inference}) {
+      if (!v->empty()) {
+        total += util::Mean(*v);
+        ++parts;
+      }
+    }
+    table.AddRow({name, Pct(sent.prediction, true), Pct(sent.inference),
+                  Pct(ner.prediction, true), Pct(ner.inference),
+                  parts > 0 ? util::FormatFixed(total / parts * 100.0, 2)
+                            : "-"});
+  };
+  add_row("MV-Rule");
+  add_row("GLAD-Rule");
+  add_row("w/o-Rule");
+  add_row("MV-t");
+  add_row("our-other-rules-student");
+  add_row("our-other-rules-teacher");
+  table.AddSeparator();
+  add_row("Logic-LNCL-student");
+  add_row("Logic-LNCL-teacher");
+  EmitTable(&table, "table4_ablation");
+  std::cout << "(NER GLAD-Rule row uses AggNet posteriors: GLAD is "
+               "inapplicable to sequence tasks, as in the paper.)\n";
+}
+
+}  // namespace
+}  // namespace lncl::bench
+
+int main(int argc, char** argv) {
+  lncl::util::SetLogLevel(lncl::util::LogLevel::kWarning);
+  lncl::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Annotator-reliability estimation (the paper's Figures 6/7 in miniature):
+// train Logic-LNCL, then compare the learned confusion matrices against the
+// annotators' empirical confusions.
+#include <iostream>
+#include <memory>
+
+#include "core/logic_lncl.h"
+#include "core/sentiment_rules.h"
+#include "crowd/confusion.h"
+#include "crowd/simulator.h"
+#include "data/sentiment_gen.h"
+#include "eval/reliability.h"
+#include "models/text_cnn.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lncl;
+  util::Rng rng(5);
+
+  data::SentimentGenConfig gen_config;
+  data::SentimentCorpus corpus =
+      data::GenerateSentimentCorpus(gen_config, 1000, 200, 200, &rng);
+  crowd::CrowdConfig crowd_config;
+  crowd_config.num_annotators = 20;
+  auto simulator =
+      crowd::CrowdSimulator::MakeClassification(crowd_config, 2, &rng);
+  crowd::AnnotationSet annotations = simulator.Annotate(corpus.train, &rng);
+
+  std::unique_ptr<models::Model> model = models::TextCnn::Factory(
+      models::TextCnnConfig(), corpus.embeddings)(&rng);
+  core::SentimentButRule rule(model.get(), corpus.but_token);
+  core::LogicLnclConfig config;
+  config.epochs = 10;
+  config.batch_size = 32;
+  config.k_schedule = core::SentimentKSchedule();
+  config.optimizer.kind = "adadelta";
+  config.optimizer.lr = 1.0;
+  core::LogicLncl learner(config, std::move(model), &rule);
+  learner.Fit(corpus.train, annotations, corpus.dev, &rng);
+
+  const crowd::ConfusionSet empirical =
+      crowd::EmpiricalConfusions(annotations, corpus.train);
+  const auto labels = annotations.LabelsPerAnnotator();
+
+  util::Table table("Estimated vs empirical annotator reliability");
+  table.SetHeader({"Annotator", "Labels", "Skill (sim)", "Estimated", "True"});
+  for (int j = 0; j < annotations.num_annotators(); ++j) {
+    table.AddRow({std::to_string(j), std::to_string(labels[j]),
+                  util::FormatFixed(simulator.profiles()[j].skill, 2),
+                  util::FormatFixed(learner.confusions()[j].Reliability(), 3),
+                  util::FormatFixed(empirical[j].Reliability(), 3)});
+  }
+  table.Print(std::cout);
+
+  const eval::ReliabilityReport report = eval::CompareReliability(
+      learner.confusions(), empirical, labels, /*min_labels=*/5);
+  std::cout << "correlation(estimated, true) = " << report.pearson_correlation
+            << ", mean |error| = " << report.mean_abs_reliability_error
+            << "\n";
+  return 0;
+}

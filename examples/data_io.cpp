@@ -1,0 +1,71 @@
+// Loading your own data: writes a corpus + crowd labels to the plain-text
+// interchange formats (CoNLL columns for sequences, TSV for classification,
+// and the MTurk-release "answers matrix" for crowd labels), reads them back,
+// and aggregates the loaded labels — the end-to-end path a user with real
+// crowdsourced files would follow.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "crowd/io.h"
+#include "crowd/simulator.h"
+#include "data/bio.h"
+#include "data/io.h"
+#include "data/ner_gen.h"
+#include "eval/metrics.h"
+#include "inference/dawid_skene.h"
+#include "inference/truth_inference.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace lncl;
+  util::Rng rng(3);
+
+  // Generate a small corpus + crowd as a stand-in for "your data".
+  data::NerGenConfig gen_config;
+  data::NerCorpus corpus = data::GenerateNerCorpus(gen_config, 120, 1, 1, &rng);
+  crowd::CrowdConfig crowd_config;
+  crowd_config.num_annotators = 10;
+  auto simulator = crowd::CrowdSimulator::MakeSequence(crowd_config, &rng);
+  crowd::AnnotationSet annotations =
+      simulator.AnnotateSequences(corpus.train, &rng);
+
+  // --- Write the two files a real dataset release would contain.
+  std::stringstream gold_file, answers_file;
+  data::SaveConll(gold_file, corpus.train, corpus.vocab);
+  crowd::SaveSequenceAnswers(answers_file, annotations,
+                             inference::ItemsPerInstance(corpus.train));
+  std::cout << "CoNLL gold file: " << gold_file.str().size() << " bytes; "
+            << "answers matrix: " << answers_file.str().size() << " bytes\n";
+  std::cout << "first rows of the answers matrix (0 = not annotated):\n";
+  std::istringstream preview(answers_file.str());
+  std::string line;
+  for (int i = 0; i < 4 && std::getline(preview, line); ++i) {
+    std::cout << "  " << line << "\n";
+  }
+
+  // --- Read everything back, as a downstream user would.
+  data::Vocab vocab;
+  data::Dataset loaded;
+  if (!data::LoadConll(gold_file, &vocab, &loaded)) {
+    std::cerr << "failed to parse CoNLL file\n";
+    return 1;
+  }
+  crowd::AnnotationSet loaded_annotations;
+  if (!crowd::LoadSequenceAnswers(answers_file, data::kNumBioLabels,
+                                  &loaded_annotations)) {
+    std::cerr << "failed to parse answers matrix\n";
+    return 1;
+  }
+  std::cout << "loaded " << loaded.size() << " sentences and "
+            << loaded_annotations.TotalAnnotations()
+            << " sentence annotations\n";
+
+  // --- Aggregate the loaded crowd labels.
+  inference::DawidSkene ds;
+  const auto posteriors = ds.Infer(
+      loaded_annotations, inference::ItemsPerInstance(loaded), &rng);
+  std::cout << "Dawid-Skene span F1 on the loaded data: "
+            << eval::PosteriorSpanF1(posteriors, loaded).f1 << "\n";
+  return 0;
+}

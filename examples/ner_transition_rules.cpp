@@ -1,0 +1,98 @@
+// NER with BIO transition rules: trains Logic-LNCL on a synthetic
+// crowdsourced sequence-tagging task and shows how the forward-backward rule
+// projection (the paper's dynamic-programming evaluation of Eq. 15) repairs
+// invalid label sequences at test time.
+#include <iostream>
+
+#include "core/logic_lncl.h"
+#include "core/ner_rules.h"
+#include "crowd/simulator.h"
+#include "data/bio.h"
+#include "data/ner_gen.h"
+#include "eval/metrics.h"
+#include "models/ner_tagger.h"
+#include "util/rng.h"
+
+namespace {
+
+std::string RenderTags(const std::vector<int>& tags) {
+  std::string out;
+  for (int t : tags) {
+    out += lncl::data::BioLabelName(t);
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lncl;
+  util::Rng rng(11);
+
+  data::NerGenConfig gen_config;
+  data::NerCorpus corpus =
+      data::GenerateNerCorpus(gen_config, 600, 150, 150, &rng);
+
+  crowd::CrowdConfig crowd_config;
+  crowd_config.num_annotators = 25;
+  auto simulator = crowd::CrowdSimulator::MakeSequence(crowd_config, &rng);
+  crowd::AnnotationSet annotations =
+      simulator.AnnotateSequences(corpus.train, &rng);
+
+  // The transition-rule penalty matrix compiled from the PSL rules.
+  const util::Matrix pen = core::BuildNerTransitionPenalty();
+  std::cout << "transition penalties into I-ORG:\n";
+  for (int a : {data::kO, data::kBOrg, data::kIOrg, data::kBPer}) {
+    std::cout << "  " << data::BioLabelName(a) << " -> I-ORG: "
+              << pen(a, data::kIOrg) << "\n";
+  }
+
+  auto projector = core::MakeNerRuleProjector();
+  models::NerTaggerConfig model_config;
+  model_config.conv_features = 32;
+  model_config.gru_hidden = 16;
+
+  core::LogicLnclConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+  config.weighted_loss = true;  // Eq. 10
+  config.k_schedule = core::NerKSchedule();
+  config.optimizer.kind = "adam";
+  config.optimizer.lr = 0.002;
+
+  core::LogicLncl learner(
+      config, models::NerTagger::Factory(model_config, corpus.embeddings),
+      projector.get());
+  learner.Fit(corpus.train, annotations, corpus.dev, &rng);
+
+  const eval::PrF1 student = eval::SpanF1(
+      [&](const data::Instance& x) { return learner.PredictStudent(x); },
+      corpus.test);
+  const eval::PrF1 teacher = eval::SpanF1(
+      [&](const data::Instance& x) { return learner.PredictTeacher(x); },
+      corpus.test);
+  std::cout << "\nstrict span F1 on test: student " << student.f1
+            << ", teacher " << teacher.f1 << "\n";
+
+  // Show a sentence where the teacher repairs an invalid BIO decoding.
+  long invalid_student = 0, invalid_teacher = 0;
+  bool shown = false;
+  for (const data::Instance& x : corpus.test.instances) {
+    const auto s = eval::ArgmaxRows(learner.PredictStudent(x));
+    const auto t = eval::ArgmaxRows(learner.PredictTeacher(x));
+    invalid_student += !data::IsValidBioSequence(s);
+    invalid_teacher += !data::IsValidBioSequence(t);
+    if (!shown && !data::IsValidBioSequence(s) &&
+        data::IsValidBioSequence(t)) {
+      std::cout << "\nexample repair:\n  gold:    "
+                << RenderTags(x.tag_labels) << "\n  student: " << RenderTags(s)
+                << "\n  teacher: " << RenderTags(t) << "\n";
+      shown = true;
+    }
+  }
+  std::cout << "\ninvalid BIO decodings on test: student " << invalid_student
+            << ", teacher " << invalid_teacher << " (of "
+            << corpus.test.size() << ")\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Demonstrates the probabilistic-soft-logic machinery behind the "A-but-B"
+// sentiment rule (Eqs. 16-17): Łukasiewicz operators, formula evaluation,
+// and the closed-form posterior-regularization projection (Eq. 15).
+#include <iostream>
+
+#include "core/sentiment_rules.h"
+#include "crowd/simulator.h"
+#include "data/sentiment_gen.h"
+#include "logic/formula.h"
+#include "logic/posterior_reg.h"
+#include "logic/soft_logic.h"
+#include "models/text_cnn.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace lncl;
+  using logic::Formula;
+
+  // --- 1. Soft logic basics: the paper's voting example (Section III-A).
+  std::cout << "I(friend & votesFor) with I(friend)=1, I(votesFor)=0.9: "
+            << logic::LukAnd(1.0, 0.9) << "\n";
+
+  const auto rule = Formula::Implies(
+      Formula::And(Formula::Atom(0, "friend(B,A)"),
+                   Formula::Atom(1, "votesFor(A,P)")),
+      Formula::Atom(2, "votesFor(B,P)"));
+  std::cout << "rule: " << rule->ToString() << "\n";
+  std::cout << "  I(rule | 1.0, 0.9, 0.7) = " << rule->Eval({1.0, 0.9, 0.7})
+            << "  (distance to satisfaction "
+            << rule->DistanceToSatisfaction({1.0, 0.9, 0.7}) << ")\n\n";
+
+  // --- 2. Eq. 15 on a toy posterior: penalizing class 0 moves mass away.
+  const util::Vector q = {0.5f, 0.5f};
+  for (double c : {0.5, 2.0, 5.0}) {
+    const util::Vector qb = logic::ProjectCategorical(q, {0.8f, 0.1f}, c);
+    std::cout << "C=" << c << ": q_b = (" << qb[0] << ", " << qb[1] << ")\n";
+  }
+
+  // --- 3. The A-but-B rule on a real instance: train a small CNN briefly,
+  //        then watch the projection pull a "but" sentence toward clause B.
+  util::Rng rng(7);
+  data::SentimentGenConfig gen_config;
+  data::SentimentCorpus corpus =
+      data::GenerateSentimentCorpus(gen_config, 600, 100, 100, &rng);
+
+  models::TextCnnConfig model_config;
+  models::TextCnn cnn(model_config, corpus.embeddings, &rng);
+  // Quick supervised warm-up on gold labels (this example is about the rule,
+  // not about crowd training; see quickstart.cpp for the full pipeline).
+  nn::Adadelta opt(1.0);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (const data::Instance& x : corpus.train.instances) {
+      util::Matrix target(1, 2);
+      target(0, x.label) = 1.0f;
+      cnn.ForwardTrain(x, &rng);
+      cnn.BackwardSoftTarget(target, 1.0f);
+      opt.Step(cnn.Params());
+    }
+  }
+
+  core::SentimentButRule but_rule(&cnn, corpus.but_token);
+  std::cout << "\nPSL rules:\n";
+  for (int l = 0; l < but_rule.rules().size(); ++l) {
+    std::cout << "  [" << but_rule.rules().rule(l).name << "] "
+              << but_rule.rules().rule(l).formula->ToString() << " (w="
+              << but_rule.rules().rule(l).weight << ")\n";
+  }
+
+  int shown = 0;
+  for (const data::Instance& x : corpus.test.instances) {
+    if (x.contrast_index < 0 || x.tokens[x.contrast_index] != corpus.but_token)
+      continue;
+    const util::Matrix whole = cnn.Predict(x);
+    const util::Matrix clause_b = cnn.Predict(data::ClauseB(x));
+    const util::Matrix projected = but_rule.Project(x, whole, /*C=*/5.0);
+    std::cout << "\n'A-but-B' sentence (truth="
+              << (x.label ? "positive" : "negative") << "):\n"
+              << "  p(positive | whole sentence) = " << whole(0, 1) << "\n"
+              << "  p(positive | clause B)       = " << clause_b(0, 1) << "\n"
+              << "  p(positive | rule-projected) = " << projected(0, 1)
+              << "\n";
+    if (++shown == 3) break;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#ifndef LNCL_BASELINES_CROWD_LAYER_H_
+#define LNCL_BASELINES_CROWD_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "crowd/annotation.h"
+#include "data/dataset.h"
+#include "models/model.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "util/matrix.h"
+
+namespace lncl::baselines {
+
+// Deep learning from crowds (Rodrigues & Pereira, 2018): the "crowd layer"
+// baseline CL. On top of the bottleneck softmax output p of the shared
+// network, a per-annotator transformation produces annotator-specific
+// (unnormalized) class scores that are trained against that annotator's
+// labels with categorical cross entropy applied *directly* to the clipped
+// scores — exactly as in the reference Keras implementation, which does not
+// re-normalize the crowd layer's output:
+//
+//   MW:   q_j = W_j p          (full K x K matrix, identity init)
+//   VW:   q_j = w_j . p        (per-class scale, ones init)
+//   VW-B: q_j = w_j . p + b_j  (scale + bias)
+//
+//   loss = -log q_j[y_ij],  q clipped to [eps, 1]
+//
+// Gradients flow through the crowd layer into the network (via the softmax
+// Jacobian). The paper's CL(MW, 5) / CL(MW, 1) variants pre-train the
+// bottleneck for 5 / 1 epochs on Majority-Voting estimates before switching
+// to crowd-layer training.
+struct CrowdLayerConfig {
+  enum class Kind { kMW, kVW, kVWB };
+
+  Kind kind = Kind::kMW;
+  int pretrain_epochs = 0;  // epochs of MV pre-training
+  int epochs = 30;
+  int batch_size = 50;
+  int patience = 5;
+  nn::OptimizerConfig optimizer;
+};
+
+struct CrowdLayerResult {
+  double best_dev_score = 0.0;
+  int best_epoch = -1;
+};
+
+class CrowdLayer {
+ public:
+  CrowdLayer(CrowdLayerConfig config, models::ModelFactory factory)
+      : config_(std::move(config)), factory_(std::move(factory)) {}
+
+  CrowdLayerResult Fit(const data::Dataset& train,
+                       const crowd::AnnotationSet& annotations,
+                       const data::Dataset& dev, util::Rng* rng);
+
+  // Bottleneck prediction (the classifier of interest).
+  util::Matrix Predict(const data::Instance& x) const {
+    return model_->Predict(x);
+  }
+
+  // Classifier outputs on the training set — the paper's "Inference" metric
+  // for the CL rows.
+  std::vector<util::Matrix> TrainPosteriors(const data::Dataset& train) const;
+
+  models::Model* model() { return model_.get(); }
+
+ private:
+  // Per-annotator crowd-layer forward: annotator scores from bottleneck p.
+  void AnnotatorForward(int annotator, const util::Vector& p,
+                        util::Vector* scores) const;
+  // Accumulates crowd-layer parameter grads and dL/dp for one (item, label),
+  // where loss = -log(clip(scores[label])).
+  void AnnotatorBackward(int annotator, const util::Vector& p,
+                         const util::Vector& scores, int label,
+                         util::Vector* grad_p);
+
+  CrowdLayerConfig config_;
+  models::ModelFactory factory_;
+  std::unique_ptr<models::Model> model_;
+  // One parameter per annotator: K x K (MW), 1 x K (VW), 2 x K (VW-B:
+  // row 0 = scale, row 1 = bias).
+  std::vector<std::unique_ptr<nn::Parameter>> annotator_params_;
+};
+
+}  // namespace lncl::baselines
+
+#endif  // LNCL_BASELINES_CROWD_LAYER_H_

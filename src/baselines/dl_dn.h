@@ -1,0 +1,60 @@
+#ifndef LNCL_BASELINES_DL_DN_H_
+#define LNCL_BASELINES_DL_DN_H_
+
+#include <memory>
+#include <vector>
+
+#include "crowd/annotation.h"
+#include "data/dataset.h"
+#include "models/model.h"
+#include "nn/optimizer.h"
+
+namespace lncl::baselines {
+
+// "Who said what" (Guan et al., 2018): one network per annotator, trained
+// only on that annotator's labels.
+//
+//   DL-DN:  prediction = unweighted average of the annotator networks'
+//           softmax outputs;
+//   DL-WDN: weighted average with per-network weights learned from held-out
+//           performance (the original learns averaging weights on a
+//           validation set; we use each network's dev score, squared, as its
+//           weight).
+struct DlDnConfig {
+  int epochs = 15;
+  int batch_size = 32;
+  int patience = 4;
+  nn::OptimizerConfig optimizer;
+  // Annotators with fewer labeled instances than this are skipped (their
+  // networks would be pure noise).
+  int min_instances = 30;
+};
+
+class DlDn {
+ public:
+  DlDn(DlDnConfig config, models::ModelFactory factory)
+      : config_(std::move(config)), factory_(std::move(factory)) {}
+
+  void Fit(const data::Dataset& train, const crowd::AnnotationSet& annotations,
+           const data::Dataset& dev, util::Rng* rng);
+
+  // Unweighted ensemble prediction (DL-DN).
+  util::Matrix Predict(const data::Instance& x) const;
+  // Agreement-weighted ensemble prediction (DL-WDN).
+  util::Matrix PredictWeighted(const data::Instance& x) const;
+
+  int num_networks() const { return static_cast<int>(networks_.size()); }
+
+ private:
+  util::Matrix Ensemble(const data::Instance& x,
+                        const std::vector<double>& weights) const;
+
+  DlDnConfig config_;
+  models::ModelFactory factory_;
+  std::vector<std::unique_ptr<models::Model>> networks_;
+  std::vector<double> dev_weight_;  // per kept network: dev score squared
+};
+
+}  // namespace lncl::baselines
+
+#endif  // LNCL_BASELINES_DL_DN_H_

@@ -1,0 +1,82 @@
+#ifndef LNCL_BASELINES_FIXED_TARGET_H_
+#define LNCL_BASELINES_FIXED_TARGET_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/logic_lncl.h"
+#include "crowd/annotation.h"
+#include "data/dataset.h"
+#include "logic/posterior_reg.h"
+#include "models/model.h"
+#include "nn/optimizer.h"
+
+namespace lncl::baselines {
+
+// The MV-Rule / GLAD-Rule ablations of Table IV: rule distillation WITHOUT
+// the iterative truth-posterior refinement. A fixed stage-1 estimate q_base
+// (from MV, GLAD, AggNet, ...) replaces q_a in Eq. 15:
+//
+//   q_b^{(e)} = Project(q_base)   (re-evaluated each epoch: the sentiment
+//                                  rule consults the evolving classifier)
+//   q_f^{(e)} = (1 - k(e)) q_base + k(e) q_b^{(e)}
+//
+// and the classifier trains on q_f. Unlike Logic-LNCL, q_base itself is
+// never updated from the model or the annotator estimates.
+struct FixedTargetConfig {
+  double C = 5.0;
+  core::KSchedule k_schedule;  // same schedules as Logic-LNCL
+  int epochs = 30;
+  int batch_size = 50;
+  int patience = 5;
+  nn::OptimizerConfig optimizer;
+};
+
+struct FixedTargetResult {
+  double best_dev_score = 0.0;
+  int best_epoch = -1;
+  // The last q_f used for training (the "Inference" metric of the ablation).
+  std::vector<util::Matrix> qf;
+};
+
+class FixedTargetTrainer {
+ public:
+  FixedTargetTrainer(FixedTargetConfig config, models::ModelFactory factory,
+                     const logic::RuleProjector* projector)
+      : config_(std::move(config)),
+        factory_(std::move(factory)),
+        projector_(projector) {
+    if (!config_.k_schedule) config_.k_schedule = core::ConstantK(0.0);
+  }
+
+  // Pre-built-model variant (see core::LogicLncl): lets the caller bind a
+  // model-dependent rule projector to the model being trained.
+  FixedTargetTrainer(FixedTargetConfig config,
+                     std::unique_ptr<models::Model> model,
+                     const logic::RuleProjector* projector)
+      : config_(std::move(config)),
+        projector_(projector),
+        model_(std::move(model)) {
+    if (!config_.k_schedule) config_.k_schedule = core::ConstantK(0.0);
+  }
+
+  FixedTargetResult Fit(const data::Dataset& train,
+                        const std::vector<util::Matrix>& q_base,
+                        const data::Dataset& dev, util::Rng* rng);
+
+  util::Matrix Predict(const data::Instance& x) const {
+    return model_->Predict(x);
+  }
+
+  models::Model* model() { return model_.get(); }
+
+ private:
+  FixedTargetConfig config_;
+  models::ModelFactory factory_;
+  const logic::RuleProjector* projector_;
+  std::unique_ptr<models::Model> model_;
+};
+
+}  // namespace lncl::baselines
+
+#endif  // LNCL_BASELINES_FIXED_TARGET_H_

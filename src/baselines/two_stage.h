@@ -1,0 +1,84 @@
+#ifndef LNCL_BASELINES_TWO_STAGE_H_
+#define LNCL_BASELINES_TWO_STAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/logic_lncl.h"
+#include "crowd/annotation.h"
+#include "data/dataset.h"
+#include "inference/truth_inference.h"
+#include "logic/posterior_reg.h"
+#include "models/model.h"
+#include "nn/optimizer.h"
+
+namespace lncl::baselines {
+
+// The two-stage LNCL paradigm (paper Figure 1, left): first run a
+// truth-inference method over the crowd labels, then train the classifier on
+// the inferred (hard) labels with ordinary supervised learning. Covers
+// MV-Classifier, GLAD-Classifier, and — given gold targets — the "Gold"
+// upper bound.
+struct TwoStageConfig {
+  int epochs = 30;
+  int batch_size = 50;
+  int patience = 5;
+  bool hard_labels = true;  // argmax the stage-1 posterior (the usual recipe)
+  nn::OptimizerConfig optimizer;
+};
+
+struct TwoStageResult {
+  double best_dev_score = 0.0;
+  int best_epoch = -1;
+  // Stage-1 posteriors on the training set (the "Inference" metric).
+  std::vector<util::Matrix> posteriors;
+};
+
+class TwoStage {
+ public:
+  TwoStage(TwoStageConfig config, models::ModelFactory factory)
+      : config_(std::move(config)), factory_(std::move(factory)) {}
+
+  // Stage 1 = `inference` over `annotations`; stage 2 = supervised training.
+  TwoStageResult Fit(const data::Dataset& train,
+                     const crowd::AnnotationSet& annotations,
+                     const inference::TruthInference& inference,
+                     const data::Dataset& dev, util::Rng* rng);
+
+  // Trains directly on provided per-instance targets (items x K). Pass the
+  // gold one-hot targets for the "Gold" row.
+  TwoStageResult FitOnTargets(const data::Dataset& train,
+                              const std::vector<util::Matrix>& targets,
+                              const data::Dataset& dev, util::Rng* rng);
+
+  util::Matrix Predict(const data::Instance& x) const {
+    return model_->Predict(x);
+  }
+
+  // "MV-t" ablation: predictions projected through a rule set at test time
+  // (the teacher trick applied to a plain two-stage classifier).
+  util::Matrix PredictWithRules(const data::Instance& x,
+                                const logic::RuleProjector& projector,
+                                double C) const {
+    return projector.Project(x, model_->Predict(x), C);
+  }
+
+  models::Model* model() { return model_.get(); }
+  const models::Model* model() const { return model_.get(); }
+
+ private:
+  TwoStageConfig config_;
+  models::ModelFactory factory_;
+  std::unique_ptr<models::Model> model_;
+};
+
+// One-hot (items x K) targets from ground-truth labels, for Gold training.
+std::vector<util::Matrix> GoldTargets(const data::Dataset& dataset);
+
+// Hardens posteriors to one-hot argmax targets.
+std::vector<util::Matrix> HardenTargets(
+    const std::vector<util::Matrix>& posteriors);
+
+}  // namespace lncl::baselines
+
+#endif  // LNCL_BASELINES_TWO_STAGE_H_

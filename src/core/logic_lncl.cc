@@ -1,0 +1,171 @@
+#include "core/logic_lncl.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "inference/truth_inference.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace lncl::core {
+
+KSchedule SentimentKSchedule() {
+  return [](int epoch) {
+    return std::min(1.0, 1.0 - std::pow(0.94, static_cast<double>(epoch + 1)));
+  };
+}
+
+KSchedule NerKSchedule() {
+  return [](int epoch) {
+    return std::min(0.8, 1.0 - std::pow(0.90, static_cast<double>(epoch + 1)));
+  };
+}
+
+KSchedule ConstantK(double k) {
+  return [k](int) { return k; };
+}
+
+LogicLncl::LogicLncl(LogicLnclConfig config, models::ModelFactory factory,
+                     const logic::RuleProjector* projector)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      projector_(projector) {
+  if (!config_.k_schedule) config_.k_schedule = ConstantK(0.0);
+}
+
+LogicLncl::LogicLncl(LogicLnclConfig config,
+                     std::unique_ptr<models::Model> model,
+                     const logic::RuleProjector* projector)
+    : config_(std::move(config)), projector_(projector) {
+  if (!config_.k_schedule) config_.k_schedule = ConstantK(0.0);
+  model_ = std::move(model);
+}
+
+LogicLnclResult LogicLncl::Fit(const data::Dataset& train,
+                               const crowd::AnnotationSet& annotations,
+                               const data::Dataset& dev, util::Rng* rng) {
+  return FitInternal(train, annotations, {}, dev, rng);
+}
+
+LogicLnclResult LogicLncl::FitSemiSupervised(
+    const data::Dataset& train, const crowd::AnnotationSet& annotations,
+    const std::vector<int>& gold_indices, const data::Dataset& dev,
+    util::Rng* rng) {
+  return FitInternal(train, annotations, gold_indices, dev, rng);
+}
+
+LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
+                                       const crowd::AnnotationSet& annotations,
+                                       const std::vector<int>& gold_indices,
+                                       const data::Dataset& dev,
+                                       util::Rng* rng) {
+  LogicLnclResult result;
+  if (!model_) model_ = factory_(rng);
+  std::unique_ptr<nn::Optimizer> optimizer =
+      nn::MakeOptimizer(config_.optimizer);
+  const std::vector<nn::Parameter*> params = model_->Params();
+
+  // Line 1 of Algorithm 1: initialize q_f with Majority Voting.
+  qf_ = annotations.MajorityVote(inference::ItemsPerInstance(train));
+  confusions_.clear();
+
+  // Semi-supervised anchors: one-hot gold targets that the E-step preserves.
+  auto anchor = [&]() {
+    for (int idx : gold_indices) {
+      util::Matrix& q = qf_[idx];
+      q.Zero();
+      for (int t = 0; t < q.rows(); ++t) {
+        q(t, train.ItemLabel(idx, t)) = 1.0f;
+      }
+    }
+  };
+  anchor();
+
+  const std::vector<float> weights =
+      config_.weighted_loss ? AnnotatorCountWeights(annotations)
+                            : std::vector<float>();
+
+  EarlyStopper stopper(config_.patience);
+  std::vector<util::Matrix> best_qf = qf_;
+  crowd::ConfusionSet best_confusions;
+
+  const eval::Predictor student = [this](const data::Instance& x) {
+    return model_->Predict(x);
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    nn::ApplyLrSchedule(config_.optimizer, epoch, optimizer.get());
+
+    // ---- Pseudo-M-step: network (Eq. 8/10/11), then annotators (Eq. 12).
+    const double loss = RunMinibatchEpoch(train, qf_, weights,
+                                          config_.batch_size, model_.get(),
+                                          optimizer.get(), rng);
+    result.loss_curve.push_back(loss);
+    UpdateConfusions(qf_, annotations, config_.confusion_smoothing,
+                     &confusions_);
+
+    // ---- Pseudo-E-step: q_a (Eq. 13), q_b (Eq. 15), q_f (Eq. 9).
+    const double k = config_.k_schedule(epoch);
+    for (int i = 0; i < train.size(); ++i) {
+      const data::Instance& x = train.instances[i];
+      const util::Matrix probs = model_->Predict(x);
+      util::Matrix qa = ComputeQa(probs, annotations.instance(i), confusions_);
+      if (projector_ != nullptr && config_.use_rules_in_training && k > 0.0) {
+        const util::Matrix qb = projector_->Project(x, qa, config_.C);
+        for (int t = 0; t < qa.rows(); ++t) {
+          for (int c = 0; c < qa.cols(); ++c) {
+            qa(t, c) = static_cast<float>((1.0 - k) * qa(t, c) +
+                                          k * qb(t, c));
+          }
+        }
+      }
+      qf_[i] = std::move(qa);
+    }
+    anchor();
+
+    // ---- Model selection on dev.
+    const double dev_score = eval::DevScore(student, dev);
+    result.dev_curve.push_back(dev_score);
+    const int prev_best = stopper.best_epoch();
+    const bool stop = stopper.Update(dev_score, params);
+    if (stopper.best_epoch() != prev_best) {
+      best_qf = qf_;
+      best_confusions = confusions_;
+    }
+    LNCL_LOG(Debug) << "epoch " << epoch << " loss " << loss << " dev "
+                    << dev_score << " k " << k;
+    if (stop) break;
+  }
+
+  stopper.Restore(params);
+  if (!best_confusions.empty()) {
+    qf_ = std::move(best_qf);
+    confusions_ = std::move(best_confusions);
+  }
+  result.best_dev_score = stopper.best_score();
+  result.best_epoch = stopper.best_epoch();
+  result.epochs_run = stopper.epochs_seen();
+  return result;
+}
+
+void LogicLncl::SaveModel(std::ostream& os) const {
+  LNCL_CHECK(model_ != nullptr);
+  nn::SaveParams(os, const_cast<models::Model*>(model_.get())->Params());
+}
+
+bool LogicLncl::LoadModel(std::istream& is) {
+  if (model_ == nullptr) return false;
+  return nn::LoadParams(is, model_->Params());
+}
+
+util::Matrix LogicLncl::PredictStudent(const data::Instance& x) const {
+  return model_->Predict(x);
+}
+
+util::Matrix LogicLncl::PredictTeacher(const data::Instance& x) const {
+  util::Matrix probs = model_->Predict(x);
+  if (projector_ == nullptr) return probs;
+  return projector_->Project(x, probs, config_.C);
+}
+
+}  // namespace lncl::core

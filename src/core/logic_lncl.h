@@ -1,0 +1,130 @@
+#ifndef LNCL_CORE_LOGIC_LNCL_H_
+#define LNCL_CORE_LOGIC_LNCL_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/trainer.h"
+#include "crowd/annotation.h"
+#include "crowd/confusion.h"
+#include "data/dataset.h"
+#include "logic/posterior_reg.h"
+#include "models/model.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace lncl::core {
+
+// Schedule for the imitation strength k as a function of the (0-based)
+// epoch. The paper uses min{1, 1 - 0.94^t} (sentiment) and
+// min{0.8, 1 - 0.90^t} (NER).
+using KSchedule = std::function<double(int)>;
+
+KSchedule SentimentKSchedule();  // min{1.0, 1 - 0.94^t}
+KSchedule NerKSchedule();        // min{0.8, 1 - 0.90^t}
+KSchedule ConstantK(double k);
+
+// Configuration of the Logic-LNCL learner (Table I of the paper).
+struct LogicLnclConfig {
+  double C = 5.0;                    // posterior-regularization strength
+  KSchedule k_schedule;              // imitation strength (default: 0)
+  bool weighted_loss = false;        // Eq. 10 (weight by num annotators)
+  bool use_rules_in_training = true; // false = w/o-Rule ablation (AggNet)
+  int epochs = 30;
+  int batch_size = 50;
+  int patience = 5;
+  double confusion_smoothing = 0.01;
+  nn::OptimizerConfig optimizer;
+};
+
+// Summary of a fitted run.
+struct LogicLnclResult {
+  double best_dev_score = 0.0;  // dev accuracy / span-F1 at the best epoch
+  int best_epoch = -1;
+  int epochs_run = 0;
+  std::vector<double> dev_curve;   // dev score per epoch (student)
+  std::vector<double> loss_curve;  // mean training loss per epoch
+};
+
+// Logic-guided Learning from Noisy Crowd Labels: the EM-alike iterative
+// logic knowledge distillation framework of the paper (Algorithm 1).
+//
+// Per epoch:
+//   pseudo-M-step: minibatch updates of the network on targets q_f (Eq. 8 /
+//     Eq. 10), then the closed-form annotator update (Eq. 12) with q_f;
+//   pseudo-E-step: q_a from Bayes' rule over the current network and
+//     confusions (Eq. 13); q_b by projecting q_a through the rule set
+//     (Eq. 15); q_f = (1-k) q_a + k q_b (Eq. 9).
+//
+// q_f is initialized with Majority Voting. Early stopping selects the epoch
+// with the best dev-set score of the student network and restores its
+// parameters, q_f, and confusions.
+//
+// Prediction: PredictStudent is the raw network p(t|x; Theta); PredictTeacher
+// additionally projects the prediction through Eq. 15 with q_a replaced by
+// p(t|x; Theta) ("employ q_b(t) at test phase").
+class LogicLncl {
+ public:
+  // `projector` may be null (no rules; with k=0 this is exactly the AggNet /
+  // Raykar-style EM depending on the model factory). Not owned.
+  LogicLncl(LogicLnclConfig config, models::ModelFactory factory,
+            const logic::RuleProjector* projector);
+
+  // Takes a pre-built model instead of a factory. This is how the sentiment
+  // "but" rule is wired: the projector must consult the very model being
+  // trained, so the caller builds the model first, binds the projector to
+  // it, and hands both over.
+  LogicLncl(LogicLnclConfig config, std::unique_ptr<models::Model> model,
+            const logic::RuleProjector* projector);
+
+  // Trains on crowd labels; `dev` (with gold labels) drives early stopping.
+  LogicLnclResult Fit(const data::Dataset& train,
+                      const crowd::AnnotationSet& annotations,
+                      const data::Dataset& dev, util::Rng* rng);
+
+  // Semi-supervised variant (after Atarashi et al., 2018): instances whose
+  // index appears in `gold_indices` anchor q_f to their one-hot ground truth
+  // throughout training — the E-step never overwrites them. Useful when a
+  // small expert-labeled subset exists next to the crowd labels.
+  LogicLnclResult FitSemiSupervised(const data::Dataset& train,
+                                    const crowd::AnnotationSet& annotations,
+                                    const std::vector<int>& gold_indices,
+                                    const data::Dataset& dev, util::Rng* rng);
+
+  // Checkpointing: persists / restores the trained network parameters
+  // (names and shapes must match; see nn/serialize.h). The model must exist
+  // (i.e. Fit ran, or the pre-built-model constructor was used).
+  void SaveModel(std::ostream& os) const;
+  bool LoadModel(std::istream& is);
+
+  util::Matrix PredictStudent(const data::Instance& x) const;
+  util::Matrix PredictTeacher(const data::Instance& x) const;
+
+  // Final truth estimates q_f on the training set (the paper's "Inference"
+  // metric for Logic-LNCL) and annotator confusion estimates (Figures 6/7).
+  const std::vector<util::Matrix>& qf() const { return qf_; }
+  const crowd::ConfusionSet& confusions() const { return confusions_; }
+
+  models::Model* model() { return model_.get(); }
+  const models::Model* model() const { return model_.get(); }
+
+ private:
+  LogicLnclResult FitInternal(const data::Dataset& train,
+                              const crowd::AnnotationSet& annotations,
+                              const std::vector<int>& gold_indices,
+                              const data::Dataset& dev, util::Rng* rng);
+
+  LogicLnclConfig config_;
+  models::ModelFactory factory_;
+  const logic::RuleProjector* projector_;
+
+  std::unique_ptr<models::Model> model_;
+  std::vector<util::Matrix> qf_;
+  crowd::ConfusionSet confusions_;
+};
+
+}  // namespace lncl::core
+
+#endif  // LNCL_CORE_LOGIC_LNCL_H_

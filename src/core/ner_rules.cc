@@ -1,0 +1,86 @@
+#include "core/ner_rules.h"
+
+#include "data/bio.h"
+
+namespace lncl::core {
+
+using logic::Formula;
+
+logic::RuleSet MakeTypeValidityRule() {
+  logic::RuleSet rules;
+  rules.Add(Formula::Implies(
+                Formula::Atom(2, "equal(t_i,I-X)"),
+                Formula::Or(Formula::Atom(0, "equal(t_prev,B-X)"),
+                            Formula::Atom(1, "equal(t_prev,I-X)"))),
+            1.0, "inside-continues-entity");
+  return rules;
+}
+
+logic::RuleSet MakeTypeTransitionRules(double w_begin, double w_inside) {
+  logic::RuleSet rules;
+  if (w_begin > 0.0) {
+    rules.Add(Formula::Implies(Formula::Atom(2, "equal(t_i,I-X)"),
+                               Formula::Atom(0, "equal(t_prev,B-X)")),
+              w_begin, "inside-after-begin");
+  }
+  if (w_inside > 0.0) {
+    rules.Add(Formula::Implies(Formula::Atom(2, "equal(t_i,I-X)"),
+                               Formula::Atom(1, "equal(t_prev,I-X)")),
+              w_inside, "inside-after-inside");
+  }
+  return rules;
+}
+
+namespace {
+
+util::Matrix CompilePenalty(const logic::RuleSet& type_rules) {
+  const int k = data::kNumBioLabels;
+  util::Matrix pen(k, k);
+  for (int type = 0; type < data::kNumEntityTypes; ++type) {
+    const int b_label = data::BeginLabel(type);
+    const int i_label = data::InsideLabel(type);
+    for (int a = 0; a < k; ++a) {
+      for (int b = 0; b < k; ++b) {
+        const double prev_is_begin = a == b_label ? 1.0 : 0.0;
+        const double prev_is_inside = a == i_label ? 1.0 : 0.0;
+        const double cur_is_inside = b == i_label ? 1.0 : 0.0;
+        pen(a, b) += static_cast<float>(type_rules.Penalty(
+            {prev_is_begin, prev_is_inside, cur_is_inside}));
+      }
+    }
+  }
+  return pen;
+}
+
+}  // namespace
+
+util::Matrix BuildNerTransitionPenalty() {
+  return CompilePenalty(MakeTypeValidityRule());
+}
+
+util::Matrix BuildNerTransitionPenaltyWeighted(double w_begin,
+                                               double w_inside) {
+  return CompilePenalty(MakeTypeTransitionRules(w_begin, w_inside));
+}
+
+util::Matrix BuildBadNerTransitionPenalty() {
+  return CompilePenalty(MakeTypeTransitionRules(1.0, 0.0));
+}
+
+std::unique_ptr<logic::SequenceRuleProjector> MakeNerRuleProjector() {
+  return std::make_unique<logic::SequenceRuleProjector>(
+      BuildNerTransitionPenalty());
+}
+
+std::unique_ptr<logic::SequenceRuleProjector> MakeWeightedNerRuleProjector(
+    double w_begin, double w_inside) {
+  return std::make_unique<logic::SequenceRuleProjector>(
+      BuildNerTransitionPenaltyWeighted(w_begin, w_inside));
+}
+
+std::unique_ptr<logic::SequenceRuleProjector> MakeBadNerRuleProjector() {
+  return std::make_unique<logic::SequenceRuleProjector>(
+      BuildBadNerTransitionPenalty());
+}
+
+}  // namespace lncl::core

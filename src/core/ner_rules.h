@@ -1,0 +1,62 @@
+#ifndef LNCL_CORE_NER_RULES_H_
+#define LNCL_CORE_NER_RULES_H_
+
+#include <memory>
+
+#include "logic/rule.h"
+#include "logic/sequence_rules.h"
+#include "util/matrix.h"
+
+namespace lncl::core {
+
+// The paper's NER transition rules (Eqs. 18-19) state that an inside label
+// can only continue an entity of the same type:
+//
+//   equal(t_i, I-X) => equal(t_{i-1}, B-X)        (Eq. 18)
+//   equal(t_i, I-X) => equal(t_{i-1}, I-X)        (Eq. 19)
+//
+// The *logical content* of the pair is the disjunction
+//
+//   equal(t_i, I-X) => equal(t_{i-1}, B-X) | equal(t_{i-1}, I-X)
+//
+// which is how the primary rule set below encodes it (weight 1): only
+// invalid predecessors are penalized, valid continuations are free. This is
+// the reading under which the rules help the teacher, as in the paper.
+//
+// The literal two-rule form with the paper's example weights (0.8 / 0.2)
+// additionally expresses a *frequency prior* over the two valid
+// predecessors; it penalizes I-X -> I-X continuations with weight w_begin and
+// is exposed as `BuildNerTransitionPenaltyWeighted` for the ablation benches
+// (with w_inside = 0 it becomes the paper's "unrealistic rule" ablation that
+// collapses the teacher).
+
+// Primary rule: pen(a, I-X) = 1 unless a is B-X or I-X; all transitions into
+// non-inside labels are unconstrained.
+util::Matrix BuildNerTransitionPenalty();
+
+// Literal Eqs. 18-19 with rule weights:
+// pen(a, I-X) = w_begin * (1 - [a = B-X]) + w_inside * (1 - [a = I-X]).
+util::Matrix BuildNerTransitionPenaltyWeighted(double w_begin,
+                                               double w_inside);
+
+// The "our-other-rules" ablation (Table IV): the unrealistic assumption that
+// I-X may ONLY be preceded by B-X (Eq. 18 alone with weight 1), which
+// penalizes every I-X -> I-X continuation and therefore fragments multi-token
+// entities — catastrophically so for the teacher, which applies the rule at
+// test time.
+util::Matrix BuildBadNerTransitionPenalty();
+
+// Forward-backward projectors over the above penalty matrices.
+std::unique_ptr<logic::SequenceRuleProjector> MakeNerRuleProjector();
+std::unique_ptr<logic::SequenceRuleProjector> MakeWeightedNerRuleProjector(
+    double w_begin = 0.8, double w_inside = 0.2);
+std::unique_ptr<logic::SequenceRuleProjector> MakeBadNerRuleProjector();
+
+// The PSL rule sets for one entity type (atoms: 0 = equal(t_prev, B-X),
+// 1 = equal(t_prev, I-X), 2 = equal(t_cur, I-X)). Exposed for tests.
+logic::RuleSet MakeTypeValidityRule();
+logic::RuleSet MakeTypeTransitionRules(double w_begin, double w_inside);
+
+}  // namespace lncl::core
+
+#endif  // LNCL_CORE_NER_RULES_H_

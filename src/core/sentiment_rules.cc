@@ -1,0 +1,46 @@
+#include "core/sentiment_rules.h"
+
+#include <cassert>
+
+#include "data/sentiment_gen.h"
+
+namespace lncl::core {
+
+using logic::Formula;
+
+SentimentButRule::SentimentButRule(const models::Model* model,
+                                   int marker_token, double weight)
+    : model_(model), marker_token_(marker_token) {
+  // positive(S) -> sigma(B)+ ; negative(S) -> sigma(B)-.
+  rules_.Add(Formula::Implies(Formula::Atom(0, "positive(S)"),
+                              Formula::Atom(1, "sigmaB+")),
+             weight, "but-positive");
+  rules_.Add(Formula::Implies(Formula::Atom(2, "negative(S)"),
+                              Formula::Atom(3, "sigmaB-")),
+             weight, "but-negative");
+}
+
+util::Matrix SentimentButRule::Project(const data::Instance& x,
+                                       const util::Matrix& q,
+                                       double C) const {
+  assert(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
+  if (x.contrast_index < 0 ||
+      x.tokens[x.contrast_index] != marker_token_ ||
+      x.contrast_index + 1 >= static_cast<int>(x.tokens.size())) {
+    return q;  // no grounding formed
+  }
+  const util::Matrix pb = model_->Predict(data::ClauseB(x));
+  const double pb_pos = pb(0, data::kSentimentPositive);
+  const double pb_neg = pb(0, data::kSentimentNegative);
+
+  util::Matrix penalties(1, data::kNumSentimentClasses);
+  for (int k = 0; k < data::kNumSentimentClasses; ++k) {
+    const double is_pos = k == data::kSentimentPositive ? 1.0 : 0.0;
+    const double is_neg = 1.0 - is_pos;
+    penalties(0, k) = static_cast<float>(
+        rules_.Penalty({is_pos, pb_pos, is_neg, pb_neg}));
+  }
+  return logic::ProjectIndependent(q, penalties, C);
+}
+
+}  // namespace lncl::core

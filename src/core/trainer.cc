@@ -1,0 +1,117 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lncl::core {
+
+double RunMinibatchEpoch(const data::Dataset& dataset,
+                         const std::vector<util::Matrix>& targets,
+                         const std::vector<float>& weights, int batch_size,
+                         models::Model* model, nn::Optimizer* optimizer,
+                         util::Rng* rng) {
+  assert(static_cast<int>(targets.size()) == dataset.size());
+  std::vector<int> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  const std::vector<nn::Parameter*> params = model->Params();
+  double total_loss = 0.0;
+  int in_batch = 0;
+  for (int idx : order) {
+    const float w = weights.empty() ? 1.0f : weights[idx];
+    model->ForwardTrain(dataset.instances[idx], rng);
+    total_loss += model->BackwardSoftTarget(targets[idx], w);
+    if (++in_batch == batch_size) {
+      optimizer->Step(params);
+      in_batch = 0;
+    }
+  }
+  if (in_batch > 0) optimizer->Step(params);
+  return dataset.size() > 0 ? total_loss / dataset.size() : 0.0;
+}
+
+util::Matrix ComputeQa(const util::Matrix& probs,
+                       const crowd::InstanceAnnotations& annotations,
+                       const crowd::ConfusionSet& confusions) {
+  const int items = probs.rows();
+  const int k = probs.cols();
+  util::Matrix qa(items, k);
+  for (int t = 0; t < items; ++t) {
+    util::Vector lp(k);
+    for (int m = 0; m < k; ++m) {
+      lp[m] = static_cast<float>(
+          std::log(std::max(static_cast<double>(probs(t, m)), 1e-300)));
+    }
+    for (const crowd::AnnotatorLabels& e : annotations.entries) {
+      const int y = e.labels[t];
+      const crowd::ConfusionMatrix& pi = confusions[e.annotator];
+      for (int m = 0; m < k; ++m) {
+        lp[m] += static_cast<float>(
+            std::log(std::max(static_cast<double>(pi(m, y)), 1e-300)));
+      }
+    }
+    float mx = lp[0];
+    for (int m = 1; m < k; ++m) mx = std::max(mx, lp[m]);
+    double sum = 0.0;
+    for (int m = 0; m < k; ++m) {
+      qa(t, m) = std::exp(lp[m] - mx);
+      sum += qa(t, m);
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int m = 0; m < k; ++m) qa(t, m) *= inv;
+  }
+  return qa;
+}
+
+void UpdateConfusions(const std::vector<util::Matrix>& qf,
+                      const crowd::AnnotationSet& annotations,
+                      double smoothing, crowd::ConfusionSet* confusions) {
+  const int k = annotations.num_classes();
+  if (confusions->size() != static_cast<size_t>(annotations.num_annotators())) {
+    confusions->assign(annotations.num_annotators(),
+                       crowd::ConfusionMatrix(k, 0.7));
+  }
+  for (auto& pi : *confusions) pi.matrix().Zero();
+  for (int i = 0; i < annotations.num_instances(); ++i) {
+    const util::Matrix& q = qf[i];
+    for (const crowd::AnnotatorLabels& e : annotations.instance(i).entries) {
+      for (size_t t = 0; t < e.labels.size(); ++t) {
+        const int row = static_cast<int>(t);
+        for (int m = 0; m < k; ++m) {
+          (*confusions)[e.annotator](m, e.labels[t]) += q(row, m);
+        }
+      }
+    }
+  }
+  for (auto& pi : *confusions) pi.NormalizeRows(smoothing);
+}
+
+bool EarlyStopper::Update(double score,
+                          const std::vector<nn::Parameter*>& params) {
+  ++epoch_;
+  if (score > best_score_) {
+    best_score_ = score;
+    best_epoch_ = epoch_ - 1;
+    since_best_ = 0;
+    snapshot_ = nn::SnapshotValues(params);
+    return false;
+  }
+  return ++since_best_ >= patience_;
+}
+
+void EarlyStopper::Restore(const std::vector<nn::Parameter*>& params) const {
+  if (!snapshot_.empty()) nn::RestoreValues(snapshot_, params);
+}
+
+std::vector<float> AnnotatorCountWeights(const crowd::AnnotationSet& ann) {
+  std::vector<float> weights(ann.num_instances());
+  for (int i = 0; i < ann.num_instances(); ++i) {
+    weights[i] = static_cast<float>(ann.NumAnnotators(i));
+  }
+  return weights;
+}
+
+}  // namespace lncl::core

@@ -1,0 +1,56 @@
+#include "crowd/annotation.h"
+
+#include <cassert>
+
+namespace lncl::crowd {
+
+std::vector<long> AnnotationSet::LabelsPerAnnotator() const {
+  std::vector<long> counts(num_annotators_, 0);
+  for (const InstanceAnnotations& inst : instances_) {
+    for (const AnnotatorLabels& e : inst.entries) {
+      counts.at(e.annotator) += static_cast<long>(e.labels.size());
+    }
+  }
+  return counts;
+}
+
+long AnnotationSet::TotalAnnotations() const {
+  long total = 0;
+  for (const InstanceAnnotations& inst : instances_) {
+    total += inst.NumAnnotators();
+  }
+  return total;
+}
+
+std::vector<util::Matrix> AnnotationSet::MajorityVote(
+    const std::vector<int>& items_per_instance) const {
+  assert(items_per_instance.size() == instances_.size());
+  std::vector<util::Matrix> result;
+  result.reserve(instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const int items = items_per_instance[i];
+    util::Matrix q(items, num_classes_);
+    std::vector<int> total(items, 0);
+    for (const AnnotatorLabels& e : instances_[i].entries) {
+      assert(static_cast<int>(e.labels.size()) == items);
+      for (int t = 0; t < items; ++t) {
+        q(t, e.labels[t]) += 1.0f;
+        ++total[t];
+      }
+    }
+    for (int t = 0; t < items; ++t) {
+      if (total[t] == 0) {
+        for (int k = 0; k < num_classes_; ++k) {
+          q(t, k) = 1.0f / static_cast<float>(num_classes_);
+        }
+      } else {
+        const float inv = 1.0f / static_cast<float>(total[t]);
+        for (int k = 0; k < num_classes_; ++k) q(t, k) *= inv;
+      }
+    }
+    result.push_back(std::move(q));
+  }
+  return result;
+}
+
+}  // namespace lncl::crowd

@@ -1,0 +1,65 @@
+#ifndef LNCL_CROWD_ANNOTATION_H_
+#define LNCL_CROWD_ANNOTATION_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace lncl::crowd {
+
+// Labels contributed by one annotator to one instance. For classification
+// `labels` has a single entry; for sequence tasks one entry per token (an
+// annotator labels the whole sentence, as in the MTurk datasets).
+struct AnnotatorLabels {
+  int annotator = 0;
+  std::vector<int> labels;
+};
+
+// All crowd labels for one instance.
+struct InstanceAnnotations {
+  std::vector<AnnotatorLabels> entries;
+
+  int NumAnnotators() const { return static_cast<int>(entries.size()); }
+};
+
+// Crowd labels for a whole dataset split. This is the noisy supervision the
+// learners see; ground truth never flows through this type.
+class AnnotationSet {
+ public:
+  AnnotationSet() = default;
+  AnnotationSet(int num_instances, int num_annotators, int num_classes)
+      : instances_(num_instances),
+        num_annotators_(num_annotators),
+        num_classes_(num_classes) {}
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  int num_annotators() const { return num_annotators_; }
+  int num_classes() const { return num_classes_; }
+
+  InstanceAnnotations& instance(int i) { return instances_.at(i); }
+  const InstanceAnnotations& instance(int i) const { return instances_.at(i); }
+
+  // Number of annotators who labeled instance i: num(J^(i)) in the paper.
+  int NumAnnotators(int i) const { return instances_.at(i).NumAnnotators(); }
+
+  // Total labels contributed by each annotator (item granularity).
+  std::vector<long> LabelsPerAnnotator() const;
+
+  // Total number of (instance, annotator) annotation events.
+  long TotalAnnotations() const;
+
+  // Per-instance majority-vote distributions: for every instance an
+  // (items x K) matrix with the empirical label frequencies (uniform when an
+  // item got no labels). This is the paper's Algorithm-1 initialization.
+  std::vector<util::Matrix> MajorityVote(
+      const std::vector<int>& items_per_instance) const;
+
+ private:
+  std::vector<InstanceAnnotations> instances_;
+  int num_annotators_ = 0;
+  int num_classes_ = 0;
+};
+
+}  // namespace lncl::crowd
+
+#endif  // LNCL_CROWD_ANNOTATION_H_

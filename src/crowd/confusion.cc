@@ -1,0 +1,74 @@
+#include "crowd/confusion.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lncl::crowd {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes, double diag) {
+  m_.Resize(num_classes, num_classes);
+  const float off = num_classes > 1
+                        ? static_cast<float>((1.0 - diag) / (num_classes - 1))
+                        : 0.0f;
+  for (int r = 0; r < num_classes; ++r) {
+    for (int c = 0; c < num_classes; ++c) {
+      m_(r, c) = r == c ? static_cast<float>(diag) : off;
+    }
+  }
+}
+
+void ConfusionMatrix::NormalizeRows(double smoothing) {
+  for (int r = 0; r < m_.rows(); ++r) {
+    float* row = m_.Row(r);
+    double sum = 0.0;
+    for (int c = 0; c < m_.cols(); ++c) {
+      row[c] += static_cast<float>(smoothing);
+      sum += row[c];
+    }
+    if (sum <= 0.0) {
+      for (int c = 0; c < m_.cols(); ++c) {
+        row[c] = 1.0f / static_cast<float>(m_.cols());
+      }
+    } else {
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int c = 0; c < m_.cols(); ++c) row[c] *= inv;
+    }
+  }
+}
+
+double ConfusionMatrix::Reliability() const {
+  double sum = 0.0;
+  for (int r = 0; r < m_.rows(); ++r) sum += m_(r, r);
+  return m_.rows() > 0 ? sum / m_.rows() : 0.0;
+}
+
+double ConfusionMatrix::Distance(const ConfusionMatrix& other) const {
+  assert(num_classes() == other.num_classes());
+  double sum = 0.0;
+  for (int r = 0; r < m_.rows(); ++r) {
+    for (int c = 0; c < m_.cols(); ++c) {
+      const double d = m_(r, c) - other.m_(r, c);
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+ConfusionSet EmpiricalConfusions(const AnnotationSet& annotations,
+                                 const data::Dataset& dataset) {
+  const int k = annotations.num_classes();
+  ConfusionSet result(annotations.num_annotators(), ConfusionMatrix(k, 0.0));
+  for (auto& cm : result) cm.matrix().Zero();
+  for (int i = 0; i < annotations.num_instances(); ++i) {
+    for (const AnnotatorLabels& e : annotations.instance(i).entries) {
+      for (size_t t = 0; t < e.labels.size(); ++t) {
+        const int truth = dataset.ItemLabel(i, static_cast<int>(t));
+        result[e.annotator](truth, e.labels[t]) += 1.0f;
+      }
+    }
+  }
+  for (auto& cm : result) cm.NormalizeRows(1e-9);
+  return result;
+}
+
+}  // namespace lncl::crowd

@@ -1,0 +1,54 @@
+#ifndef LNCL_CROWD_CONFUSION_H_
+#define LNCL_CROWD_CONFUSION_H_
+
+#include <vector>
+
+#include "crowd/annotation.h"
+#include "data/dataset.h"
+#include "util/matrix.h"
+
+namespace lncl::crowd {
+
+// A K x K row-stochastic annotator confusion matrix: entry (m, n) is the
+// probability that the annotator reports label n when the truth is m — the
+// pi^{(j)}_{mn} of Eq. 2.
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix() = default;
+  // Initialized to the "diagonal prior": diag probability `diag`, the rest
+  // spread uniformly. diag defaults to a mildly-better-than-random 0.7.
+  explicit ConfusionMatrix(int num_classes, double diag = 0.7);
+
+  int num_classes() const { return m_.rows(); }
+
+  float& operator()(int truth, int reported) { return m_(truth, reported); }
+  float operator()(int truth, int reported) const { return m_(truth, reported); }
+
+  util::Matrix& matrix() { return m_; }
+  const util::Matrix& matrix() const { return m_; }
+
+  // Renormalizes each row to sum to 1 after adding `smoothing` to every cell
+  // (rows that were all-zero become uniform).
+  void NormalizeRows(double smoothing = 1e-6);
+
+  // Mean diagonal value: the scalar annotator-reliability summary used in
+  // the paper's Figures 6(b)/7(b).
+  double Reliability() const;
+
+  // Frobenius distance to another confusion matrix of the same size.
+  double Distance(const ConfusionMatrix& other) const;
+
+ private:
+  util::Matrix m_;
+};
+
+using ConfusionSet = std::vector<ConfusionMatrix>;
+
+// Empirical confusion matrices computed from crowd labels against ground
+// truth (item granularity). Annotators with no labels get uniform rows.
+ConfusionSet EmpiricalConfusions(const AnnotationSet& annotations,
+                                 const data::Dataset& dataset);
+
+}  // namespace lncl::crowd
+
+#endif  // LNCL_CROWD_CONFUSION_H_

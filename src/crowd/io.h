@@ -1,0 +1,37 @@
+#ifndef LNCL_CROWD_IO_H_
+#define LNCL_CROWD_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "crowd/annotation.h"
+
+namespace lncl::crowd {
+
+// The "answers matrix" interchange format the MTurk releases of both paper
+// datasets use: one row per instance, one whitespace-separated column per
+// annotator, with the paper's 0 = "did not annotate" convention and classes
+// numbered from 1. (Internally this library stores classes from 0 and
+// represents absence by omission.)
+//
+// For sequence tasks the same convention applies per token: a sentence
+// occupies `NumItems` consecutive rows and a blank line separates
+// instances.
+
+// Classification (one item per instance).
+void SaveAnswersMatrix(std::ostream& os, const AnnotationSet& annotations);
+// Reads rows until EOF. `num_annotators` is taken from the first row;
+// `num_classes` must be supplied (values are validated against it). Returns
+// false on malformed input.
+bool LoadAnswersMatrix(std::istream& is, int num_classes,
+                       AnnotationSet* annotations);
+
+// Sequence variant (blank-line-separated blocks of token rows).
+void SaveSequenceAnswers(std::ostream& os, const AnnotationSet& annotations,
+                         const std::vector<int>& items_per_instance);
+bool LoadSequenceAnswers(std::istream& is, int num_classes,
+                         AnnotationSet* annotations);
+
+}  // namespace lncl::crowd
+
+#endif  // LNCL_CROWD_IO_H_

@@ -1,0 +1,76 @@
+#include "crowd/ner_noise.h"
+
+#include <algorithm>
+
+#include "data/bio.h"
+
+namespace lncl::crowd {
+
+using data::EntitySpan;
+
+std::vector<int> CorruptNerTags(const std::vector<int>& truth,
+                                const NerErrorRates& rates, double difficulty,
+                                util::Rng* rng) {
+  const int n = static_cast<int>(truth.size());
+  const double scale = 0.5 + std::clamp(difficulty, 0.0, 1.0);
+  const double p_ignore = std::min(0.95, rates.p_ignore * scale);
+  const double p_boundary = std::min(0.95, rates.p_boundary * scale);
+  const double p_type = std::min(0.95, rates.p_type * scale);
+  const double p_fp = std::min(0.95, rates.p_false_positive * scale);
+
+  std::vector<int> out(n, data::kO);
+  for (const EntitySpan& span : data::ExtractSpans(truth)) {
+    if (rng->Bernoulli(p_ignore)) continue;  // ignore error
+
+    EntitySpan s = span;
+    if (rng->Bernoulli(p_type)) {  // span-type error
+      int other = rng->UniformInt(data::kNumEntityTypes - 1);
+      if (other >= s.type) ++other;
+      s.type = other;
+    }
+    if (rng->Bernoulli(p_boundary)) {  // boundary error
+      switch (rng->UniformInt(4)) {
+        case 0:  // shift left
+          if (s.begin > 0) { --s.begin; --s.end; }
+          break;
+        case 1:  // shift right
+          if (s.end < n) { ++s.begin; ++s.end; }
+          break;
+        case 2:  // grow by one (either side)
+          if (rng->Bernoulli(0.5) && s.begin > 0) {
+            --s.begin;
+          } else if (s.end < n) {
+            ++s.end;
+          }
+          break;
+        default:  // shrink by one, keeping at least one token
+          if (s.end - s.begin > 1) {
+            if (rng->Bernoulli(0.5)) ++s.begin; else --s.end;
+          }
+          break;
+      }
+    }
+    s.begin = std::clamp(s.begin, 0, n - 1);
+    s.end = std::clamp(s.end, s.begin + 1, n);
+    data::WriteSpan(s, &out);
+  }
+
+  // False positives on untouched O runs.
+  if (p_fp > 0.0 && rng->Bernoulli(std::min(0.95, p_fp))) {
+    const int len = 1 + rng->UniformInt(2);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int begin = rng->UniformInt(std::max(1, n - len + 1));
+      bool clear = begin + len <= n;
+      for (int i = begin; clear && i < begin + len; ++i) {
+        clear = out[i] == data::kO && truth[i] == data::kO;
+      }
+      if (!clear) continue;
+      data::WriteSpan({begin, begin + len, rng->UniformInt(data::kNumEntityTypes)},
+                      &out);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lncl::crowd

@@ -1,0 +1,34 @@
+#ifndef LNCL_CROWD_NER_NOISE_H_
+#define LNCL_CROWD_NER_NOISE_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lncl::crowd {
+
+// Per-annotator error rates for the three crowd error types the paper
+// identifies for the NER dataset (Section VI-A1), plus a small
+// false-positive rate:
+//   * ignore:   the entity is not annotated at all (span -> O);
+//   * boundary: type correct but the span is shifted/shrunk/grown by one;
+//   * type:     span correct but the entity type is wrong;
+//   * false positive: a random O run is annotated as a random entity.
+struct NerErrorRates {
+  double p_ignore = 0.0;
+  double p_boundary = 0.0;
+  double p_type = 0.0;
+  double p_false_positive = 0.0;  // expected count per sentence
+};
+
+// Applies the error model to a ground-truth BIO sequence and returns the
+// annotator's (possibly invalid-BIO) tag sequence. `difficulty` in [0, 1]
+// scales all error rates by (0.5 + difficulty), so hard sentences attract
+// more mistakes.
+std::vector<int> CorruptNerTags(const std::vector<int>& truth,
+                                const NerErrorRates& rates, double difficulty,
+                                util::Rng* rng);
+
+}  // namespace lncl::crowd
+
+#endif  // LNCL_CROWD_NER_NOISE_H_

@@ -1,0 +1,177 @@
+#include "crowd/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/bio.h"
+#include "util/logging.h"
+
+namespace lncl::crowd {
+
+namespace {
+
+double SampleSkill(const CrowdConfig& config, util::Rng* rng) {
+  const double r = rng->Uniform();
+  if (r < config.frac_good) {
+    return rng->Uniform(config.good_lo, config.good_hi);
+  }
+  if (r < config.frac_good + config.frac_mediocre) {
+    return rng->Uniform(config.mediocre_lo, config.mediocre_hi);
+  }
+  return rng->Uniform(config.spam_lo, config.spam_hi);
+}
+
+double SampleParticipation(const CrowdConfig& config, util::Rng* rng) {
+  return std::exp(rng->Gaussian(0.0, config.participation_sigma));
+}
+
+}  // namespace
+
+CrowdSimulator CrowdSimulator::MakeClassification(const CrowdConfig& config,
+                                                  int num_classes,
+                                                  util::Rng* rng) {
+  std::vector<AnnotatorProfile> profiles;
+  profiles.reserve(config.num_annotators);
+  for (int j = 0; j < config.num_annotators; ++j) {
+    AnnotatorProfile p;
+    p.skill = SampleSkill(config, rng);
+    p.participation = SampleParticipation(config, rng);
+    p.confusion = ConfusionMatrix(num_classes, 0.0);
+    for (int m = 0; m < num_classes; ++m) {
+      const double diag = std::clamp(
+          p.skill + rng->Uniform(-config.class_bias, config.class_bias),
+          1.0 / num_classes * 0.5, 0.995);
+      for (int n = 0; n < num_classes; ++n) {
+        p.confusion(m, n) = m == n ? static_cast<float>(diag)
+                                   : static_cast<float>((1.0 - diag) /
+                                                        (num_classes - 1));
+      }
+    }
+    profiles.push_back(std::move(p));
+  }
+  return CrowdSimulator(config, std::move(profiles), num_classes);
+}
+
+CrowdSimulator CrowdSimulator::MakeSequence(const CrowdConfig& config,
+                                            util::Rng* rng) {
+  std::vector<AnnotatorProfile> profiles;
+  profiles.reserve(config.num_annotators);
+  for (int j = 0; j < config.num_annotators; ++j) {
+    AnnotatorProfile p;
+    p.skill = SampleSkill(config, rng);
+    p.participation = SampleParticipation(config, rng);
+    const double err = 1.0 - p.skill;
+    p.ner_rates.p_ignore = config.ner_ignore * err;
+    p.ner_rates.p_boundary = config.ner_boundary * err;
+    p.ner_rates.p_type = config.ner_type * err;
+    p.ner_rates.p_false_positive = config.ner_false_positive * err;
+    profiles.push_back(std::move(p));
+  }
+  return CrowdSimulator(config, std::move(profiles), data::kNumBioLabels);
+}
+
+std::vector<int> CrowdSimulator::SampleAnnotators(util::Rng* rng) const {
+  const int want = std::clamp(
+      static_cast<int>(std::lround(
+          rng->Gaussian(config_.avg_per_instance, 1.2))),
+      config_.min_per_instance,
+      std::min(config_.max_per_instance, num_annotators()));
+  std::vector<double> weights(profiles_.size());
+  for (size_t j = 0; j < profiles_.size(); ++j) {
+    weights[j] = profiles_[j].participation;
+  }
+  std::vector<int> chosen;
+  chosen.reserve(want);
+  for (int c = 0; c < want; ++c) {
+    const int j = rng->Categorical(weights);
+    chosen.push_back(j);
+    weights[j] = 0.0;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+AnnotationSet CrowdSimulator::Annotate(const data::Dataset& dataset,
+                                       util::Rng* rng) const {
+  LNCL_CHECK(!dataset.sequence);
+  AnnotationSet out(dataset.size(), num_annotators(), num_classes_);
+  for (int i = 0; i < dataset.size(); ++i) {
+    const data::Instance& x = dataset.instances[i];
+    // Trap instances: every annotator perceives the same wrong class.
+    int perceived = x.label;
+    const double trap_p = x.contrast_index >= 0 ? config_.trap_frac_contrast
+                                                : config_.trap_frac;
+    if (trap_p > 0.0 && rng->Bernoulli(trap_p)) {
+      perceived = rng->UniformInt(num_classes_ - 1);
+      if (perceived >= x.label) ++perceived;
+    }
+    for (int j : SampleAnnotators(rng)) {
+      const AnnotatorProfile& p = profiles_[j];
+      std::vector<double> row(num_classes_);
+      const double keep =
+          config_.difficulty_aware
+              ? 1.0 - config_.difficulty_strength * x.difficulty
+              : 1.0;
+      const double uniform = 1.0 / num_classes_;
+      for (int n = 0; n < num_classes_; ++n) {
+        // Shrink the confusion row toward uniform on hard instances.
+        row[n] = uniform + (p.confusion(perceived, n) - uniform) * keep;
+      }
+      AnnotatorLabels e;
+      e.annotator = j;
+      e.labels.push_back(rng->Categorical(row));
+      out.instance(i).entries.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+AnnotationSet CrowdSimulator::AnnotateSequences(const data::Dataset& dataset,
+                                                util::Rng* rng) const {
+  LNCL_CHECK(dataset.sequence);
+  AnnotationSet out(dataset.size(), num_annotators(), num_classes_);
+  const bool has_traps = config_.seq_trap_ignore > 0.0 ||
+                         config_.seq_trap_type > 0.0 ||
+                         config_.seq_trap_boundary > 0.0;
+  for (int i = 0; i < dataset.size(); ++i) {
+    const data::Instance& x = dataset.instances[i];
+    // Build the crowd-wide "perceived truth": entity-level mistakes every
+    // annotator shares. Individual annotators then add their own noise.
+    std::vector<int> perceived = x.tag_labels;
+    if (has_traps) {
+      const int n = static_cast<int>(x.tag_labels.size());
+      std::vector<int> rebuilt(n, data::kO);
+      for (data::EntitySpan span : data::ExtractSpans(x.tag_labels)) {
+        if (rng->Bernoulli(config_.seq_trap_ignore)) continue;
+        if (rng->Bernoulli(config_.seq_trap_type)) {
+          int other = rng->UniformInt(data::kNumEntityTypes - 1);
+          if (other >= span.type) ++other;
+          span.type = other;
+        }
+        if (rng->Bernoulli(config_.seq_trap_boundary)) {
+          if (rng->Bernoulli(0.5) && span.begin > 0) {
+            --span.begin;
+            --span.end;
+          } else if (span.end < n) {
+            ++span.begin;
+            ++span.end;
+          }
+          span.end = std::min(std::max(span.end, span.begin + 1), n);
+        }
+        data::WriteSpan(span, &rebuilt);
+      }
+      perceived = std::move(rebuilt);
+    }
+    for (int j : SampleAnnotators(rng)) {
+      AnnotatorLabels e;
+      e.annotator = j;
+      const double difficulty = config_.difficulty_aware ? x.difficulty : 0.5;
+      e.labels =
+          CorruptNerTags(perceived, profiles_[j].ner_rates, difficulty, rng);
+      out.instance(i).entries.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace lncl::crowd

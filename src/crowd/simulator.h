@@ -1,0 +1,129 @@
+#ifndef LNCL_CROWD_SIMULATOR_H_
+#define LNCL_CROWD_SIMULATOR_H_
+
+#include <vector>
+
+#include "crowd/annotation.h"
+#include "crowd/confusion.h"
+#include "crowd/ner_noise.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace lncl::crowd {
+
+// One simulated crowd annotator.
+struct AnnotatorProfile {
+  // Generative confusion matrix (classification tasks, Eq. 2). For sequence
+  // tasks this is unused; errors follow `ner_rates` instead.
+  ConfusionMatrix confusion;
+  // Sequence-task error model.
+  NerErrorRates ner_rates;
+  // Relative propensity to pick up tasks; induces the long-tailed
+  // participation seen in the paper's Figure 4(a).
+  double participation = 1.0;
+  // Scalar skill summary in [0, 1] used when deriving the above.
+  double skill = 0.8;
+};
+
+// Configuration for the simulated annotator pool.
+struct CrowdConfig {
+  int num_annotators = 50;
+  // Expected number of annotators per instance (paper: 5.55 for sentiment,
+  // ~5 for NER). The realized count per instance is in
+  // [min_per_instance, max_per_instance].
+  double avg_per_instance = 5.0;
+  int min_per_instance = 3;
+  int max_per_instance = 8;
+
+  // Skill mixture: good / mediocre / spammer fractions and ranges.
+  double frac_good = 0.60;
+  double frac_mediocre = 0.28;
+  double good_lo = 0.75, good_hi = 0.95;
+  double mediocre_lo = 0.55, mediocre_hi = 0.75;
+  double spam_lo = 0.30, spam_hi = 0.55;
+
+  // Per-class diagonal asymmetry for classification confusions.
+  double class_bias = 0.08;
+
+  // Log-normal participation spread (sigma of the underlying normal).
+  double participation_sigma = 1.1;
+
+  // When true, the probability of a correct label shrinks with instance
+  // difficulty (the GLAD generative story): p_correct(i, j) =
+  // 1/K + (pi_diag - 1/K) * (1 - difficulty_strength * difficulty_i).
+  bool difficulty_aware = true;
+  double difficulty_strength = 0.6;
+
+  // Fraction of instances with *correlated* annotator errors: the instance
+  // is genuinely misleading and every annotator perceives the same wrong
+  // class (then applies their usual confusion to it). Such errors violate
+  // the conditional-independence assumption of DS-style aggregators and cap
+  // the achievable inference accuracy — as real crowds do. Classification
+  // tasks only. Instances with a contrastive structure (contrast_index >= 0)
+  // use the separate `trap_frac_contrast` rate: "A-but-B" sentences mislead
+  // human annotators far more often, which is precisely the error mode the
+  // paper's logic rule can repair.
+  double trap_frac = 0.0;
+  double trap_frac_contrast = 0.0;
+
+  // Sequence-task correlated errors: the per-entity probability that ALL
+  // annotators share the same mistake (the whole crowd "perceives" a wrong
+  // version of the sentence). Caps the aggregation ceiling like trap_frac
+  // does for classification.
+  double seq_trap_ignore = 0.0;    // entity invisible to everyone
+  double seq_trap_type = 0.0;      // everyone agrees on the same wrong type
+  double seq_trap_boundary = 0.0;  // everyone sees the same shifted span
+
+  // Sequence-task error-rate multipliers: each annotator's error rates are
+  // multiplier * (1 - skill). Raising these makes the simulated NER crowd
+  // sloppier without changing the skill mixture.
+  double ner_ignore = 0.55;
+  double ner_boundary = 0.50;
+  double ner_type = 0.45;
+  double ner_false_positive = 0.25;
+};
+
+// A simulated annotator pool. Profiles are fixed at construction; Annotate*
+// can be applied to any split drawn from the same task.
+class CrowdSimulator {
+ public:
+  // Builds a pool for a K-class classification task.
+  static CrowdSimulator MakeClassification(const CrowdConfig& config,
+                                           int num_classes, util::Rng* rng);
+
+  // Builds a pool for the 9-class BIO sequence task. Error rates are derived
+  // from each annotator's skill so that annotator F1 spans roughly the
+  // paper's 17.6%-89.1% range.
+  static CrowdSimulator MakeSequence(const CrowdConfig& config,
+                                     util::Rng* rng);
+
+  // Labels every instance of `dataset` (classification task).
+  AnnotationSet Annotate(const data::Dataset& dataset, util::Rng* rng) const;
+
+  // Labels every instance of `dataset` (sequence task, per-token labels with
+  // the ignore/boundary/type error model).
+  AnnotationSet AnnotateSequences(const data::Dataset& dataset,
+                                  util::Rng* rng) const;
+
+  const std::vector<AnnotatorProfile>& profiles() const { return profiles_; }
+  int num_annotators() const { return static_cast<int>(profiles_.size()); }
+
+ private:
+  CrowdSimulator(CrowdConfig config, std::vector<AnnotatorProfile> profiles,
+                 int num_classes)
+      : config_(config),
+        profiles_(std::move(profiles)),
+        num_classes_(num_classes) {}
+
+  // Samples the set of annotators for one instance, participation-weighted,
+  // without replacement.
+  std::vector<int> SampleAnnotators(util::Rng* rng) const;
+
+  CrowdConfig config_;
+  std::vector<AnnotatorProfile> profiles_;
+  int num_classes_;
+};
+
+}  // namespace lncl::crowd
+
+#endif  // LNCL_CROWD_SIMULATOR_H_

@@ -1,0 +1,98 @@
+#include "crowd/weak_supervision.h"
+
+#include <algorithm>
+
+#include "data/sentiment_gen.h"
+#include "util/logging.h"
+
+namespace lncl::crowd {
+
+AnnotationSet ApplyLabelingFunctions(
+    const std::vector<LabelingFunction>& functions,
+    const data::Dataset& dataset, int num_classes, util::Rng* rng) {
+  LNCL_CHECK(!dataset.sequence);
+  AnnotationSet out(dataset.size(), static_cast<int>(functions.size()),
+                    num_classes);
+  for (int i = 0; i < dataset.size(); ++i) {
+    const data::Instance& x = dataset.instances[i];
+    for (size_t j = 0; j < functions.size(); ++j) {
+      const LabelingFunction& lf = functions[j];
+      const bool triggered =
+          std::any_of(x.tokens.begin(), x.tokens.end(), [&lf](int token) {
+            return std::find(lf.triggers.begin(), lf.triggers.end(), token) !=
+                   lf.triggers.end();
+          });
+      if (!triggered || !rng->Bernoulli(lf.fire_prob)) continue;
+      AnnotatorLabels e;
+      e.annotator = static_cast<int>(j);
+      e.labels.push_back(lf.label);
+      out.instance(i).entries.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+LfCoverage MeasureCoverage(const std::vector<LabelingFunction>& functions,
+                           const AnnotationSet& annotations,
+                           const data::Dataset& dataset) {
+  LfCoverage cov;
+  std::vector<long> fired(functions.size(), 0);
+  std::vector<long> correct(functions.size(), 0);
+  long covered = 0, votes = 0;
+  for (int i = 0; i < annotations.num_instances(); ++i) {
+    const int n = annotations.NumAnnotators(i);
+    covered += n > 0;
+    votes += n;
+    for (const AnnotatorLabels& e : annotations.instance(i).entries) {
+      ++fired[e.annotator];
+      correct[e.annotator] += e.labels[0] == dataset.instances[i].label;
+    }
+  }
+  const int total = annotations.num_instances();
+  cov.covered = total > 0 ? static_cast<double>(covered) / total : 0.0;
+  cov.votes_per_instance =
+      total > 0 ? static_cast<double>(votes) / total : 0.0;
+  cov.lf_accuracy.resize(functions.size(), 0.0);
+  for (size_t j = 0; j < functions.size(); ++j) {
+    cov.lf_accuracy[j] =
+        fired[j] > 0 ? static_cast<double>(correct[j]) / fired[j] : 0.0;
+  }
+  return cov;
+}
+
+std::vector<LabelingFunction> MakeSentimentLabelingFunctions(
+    const data::Vocab& vocab, int per_class, int triggers_each,
+    double fire_prob, util::Rng* rng) {
+  // Recover the generator's polarity lexicons by vocabulary name.
+  std::vector<int> lexicon[2];
+  for (int prefix = 0; prefix < 2; ++prefix) {
+    const std::string name = prefix == data::kSentimentPositive ? "pos" : "neg";
+    for (int i = 0;; ++i) {
+      const int id = vocab.Find(name + std::to_string(i));
+      if (id < 0) break;
+      lexicon[prefix].push_back(id);
+    }
+    LNCL_CHECK(!lexicon[prefix].empty());
+  }
+
+  std::vector<LabelingFunction> functions;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int f = 0; f < per_class; ++f) {
+      LabelingFunction lf;
+      lf.name = (cls == data::kSentimentPositive ? "lf_pos" : "lf_neg") +
+                std::to_string(f);
+      lf.label = cls;
+      lf.fire_prob = fire_prob;
+      const int want = std::min<int>(triggers_each,
+                                     static_cast<int>(lexicon[cls].size()));
+      for (int idx : rng->SampleWithoutReplacement(
+               static_cast<int>(lexicon[cls].size()), want)) {
+        lf.triggers.push_back(lexicon[cls][idx]);
+      }
+      functions.push_back(std::move(lf));
+    }
+  }
+  return functions;
+}
+
+}  // namespace lncl::crowd

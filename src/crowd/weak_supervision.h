@@ -1,0 +1,61 @@
+#ifndef LNCL_CROWD_WEAK_SUPERVISION_H_
+#define LNCL_CROWD_WEAK_SUPERVISION_H_
+
+#include <string>
+#include <vector>
+
+#include "crowd/annotation.h"
+#include "data/dataset.h"
+#include "data/vocab.h"
+#include "util/rng.h"
+
+namespace lncl::crowd {
+
+// Snorkel-style programmatic weak supervision (the paper's Discussion
+// section proposes deploying Logic-LNCL on exactly this setting, where the
+// "annotators" are labeling functions rather than humans).
+//
+// A labeling function fires when an instance contains one of its trigger
+// tokens (with probability `fire_prob`, modelling imperfect pattern
+// matching) and always votes its fixed class; it abstains otherwise. The
+// resulting AnnotationSet has exactly the same shape as crowd labels — LFs
+// are annotators, abstention is simply a missing label — so every learner
+// in this library consumes weak supervision unchanged.
+struct LabelingFunction {
+  std::string name;
+  std::vector<int> triggers;  // token ids that activate the LF
+  int label = 0;              // the class the LF votes for
+  double fire_prob = 1.0;     // P(fire | a trigger is present)
+};
+
+// Applies the functions to every instance of a classification dataset.
+// LF j is annotator j in the returned set.
+AnnotationSet ApplyLabelingFunctions(
+    const std::vector<LabelingFunction>& functions,
+    const data::Dataset& dataset, int num_classes, util::Rng* rng);
+
+// Coverage diagnostics: fraction of instances with >= 1 vote, and the mean
+// number of votes per instance.
+struct LfCoverage {
+  double covered = 0.0;
+  double votes_per_instance = 0.0;
+  // Empirical accuracy of each LF on the instances it fired on.
+  std::vector<double> lf_accuracy;
+};
+LfCoverage MeasureCoverage(const std::vector<LabelingFunction>& functions,
+                           const AnnotationSet& annotations,
+                           const data::Dataset& dataset);
+
+// Builds keyword labeling functions for the synthetic sentiment corpus:
+// `per_class` functions per polarity, each triggering on `triggers_each`
+// random lexicon words of that polarity (the word ids are recovered from
+// the generator's "pos<i>"/"neg<i>" vocabulary names). Because polarity
+// words also occur in opposite-class sentences and in A-but-B clauses, the
+// resulting functions have realistically imperfect accuracy and coverage.
+std::vector<LabelingFunction> MakeSentimentLabelingFunctions(
+    const data::Vocab& vocab, int per_class, int triggers_each,
+    double fire_prob, util::Rng* rng);
+
+}  // namespace lncl::crowd
+
+#endif  // LNCL_CROWD_WEAK_SUPERVISION_H_

@@ -1,0 +1,71 @@
+#include "data/bio.h"
+
+#include <array>
+#include <cassert>
+
+namespace lncl::data {
+
+int EntityTypeOf(int label) {
+  assert(label >= 1 && label < kNumBioLabels);
+  return (label - 1) / 2;
+}
+
+bool IsBegin(int label) { return label >= 1 && label % 2 == 1; }
+
+bool IsInside(int label) { return label >= 2 && label % 2 == 0; }
+
+int BeginLabel(int entity_type) { return 1 + 2 * entity_type; }
+
+int InsideLabel(int entity_type) { return 2 + 2 * entity_type; }
+
+const std::string& BioLabelName(int label) {
+  static const std::array<std::string, kNumBioLabels> kNames = {
+      "O",     "B-PER", "I-PER", "B-LOC", "I-LOC",
+      "B-ORG", "I-ORG", "B-MISC", "I-MISC"};
+  return kNames.at(static_cast<size_t>(label));
+}
+
+const std::string& EntityTypeName(int entity_type) {
+  static const std::array<std::string, kNumEntityTypes> kNames = {
+      "PER", "LOC", "ORG", "MISC"};
+  return kNames.at(static_cast<size_t>(entity_type));
+}
+
+std::vector<EntitySpan> ExtractSpans(const std::vector<int>& tags) {
+  std::vector<EntitySpan> spans;
+  int i = 0;
+  const int n = static_cast<int>(tags.size());
+  while (i < n) {
+    if (tags[i] == kO) {
+      ++i;
+      continue;
+    }
+    const int type = EntityTypeOf(tags[i]);
+    const int begin = i;
+    ++i;
+    // Continue while we see I-<type>. A B-<type> starts a *new* span.
+    while (i < n && tags[i] == InsideLabel(type)) ++i;
+    spans.push_back({begin, i, type});
+  }
+  return spans;
+}
+
+void WriteSpan(const EntitySpan& span, std::vector<int>* tags) {
+  assert(span.begin >= 0 && span.end <= static_cast<int>(tags->size()));
+  for (int i = span.begin; i < span.end; ++i) {
+    (*tags)[i] = i == span.begin ? BeginLabel(span.type) : InsideLabel(span.type);
+  }
+}
+
+bool IsValidBioSequence(const std::vector<int>& tags) {
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (!IsInside(tags[i])) continue;
+    if (i == 0) return false;
+    const int type = EntityTypeOf(tags[i]);
+    const int prev = tags[i - 1];
+    if (prev != BeginLabel(type) && prev != InsideLabel(type)) return false;
+  }
+  return true;
+}
+
+}  // namespace lncl::data

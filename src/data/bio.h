@@ -1,0 +1,63 @@
+#ifndef LNCL_DATA_BIO_H_
+#define LNCL_DATA_BIO_H_
+
+#include <string>
+#include <vector>
+
+namespace lncl::data {
+
+// The CoNLL-2003 BIO tag scheme used by the NER task: 9 classes covering
+// begin/inside markers for four entity types plus the outside tag.
+enum BioLabel : int {
+  kO = 0,
+  kBPer = 1,
+  kIPer = 2,
+  kBLoc = 3,
+  kILoc = 4,
+  kBOrg = 5,
+  kIOrg = 6,
+  kBMisc = 7,
+  kIMisc = 8,
+};
+
+inline constexpr int kNumBioLabels = 9;
+inline constexpr int kNumEntityTypes = 4;  // PER, LOC, ORG, MISC
+
+// Entity-type index in [0, 4) for a non-O label.
+int EntityTypeOf(int label);
+bool IsBegin(int label);
+bool IsInside(int label);
+// B-/I- label for entity type in [0, 4).
+int BeginLabel(int entity_type);
+int InsideLabel(int entity_type);
+
+// Human-readable name ("O", "B-PER", ...).
+const std::string& BioLabelName(int label);
+// Entity type name ("PER", ...), type in [0, 4).
+const std::string& EntityTypeName(int entity_type);
+
+// A typed entity span: tokens [begin, end) share one entity of type `type`.
+struct EntitySpan {
+  int begin = 0;
+  int end = 0;
+  int type = 0;
+
+  friend bool operator==(const EntitySpan&, const EntitySpan&) = default;
+};
+
+// Decodes BIO tags into entity spans using the conventional CoNLL treatment:
+// an I-X without a preceding B-X/I-X of the same type starts a new entity
+// (crowd annotations frequently contain such fragments).
+std::vector<EntitySpan> ExtractSpans(const std::vector<int>& tags);
+
+// Writes `span` as B-X I-X ... into `tags` (must be long enough).
+void WriteSpan(const EntitySpan& span, std::vector<int>* tags);
+
+// True when the sequence contains no I-X preceded by a different-typed or O
+// tag — i.e. every entity is well-formed. Ground-truth sequences from the
+// generator always satisfy this; crowd labels may not.
+bool IsValidBioSequence(const std::vector<int>& tags);
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_BIO_H_

@@ -1,0 +1,42 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+namespace lncl::data {
+
+long Dataset::TotalItems() const {
+  long total = 0;
+  for (int i = 0; i < size(); ++i) total += NumItems(i);
+  return total;
+}
+
+std::vector<int> SampleSubset(const Dataset& dataset, int count,
+                              util::Rng* rng) {
+  const int n = dataset.size();
+  if (count >= n) {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  return rng->SampleWithoutReplacement(n, count);
+}
+
+Dataset Subset(const Dataset& dataset, const std::vector<int>& indices) {
+  Dataset out;
+  out.num_classes = dataset.num_classes;
+  out.sequence = dataset.sequence;
+  out.instances.reserve(indices.size());
+  for (int idx : indices) out.instances.push_back(dataset.instances[idx]);
+  return out;
+}
+
+Instance ClauseB(const Instance& x) {
+  assert(x.contrast_index >= 0);
+  Instance b;
+  b.tokens.assign(x.tokens.begin() + x.contrast_index + 1, x.tokens.end());
+  b.label = x.label;
+  b.difficulty = x.difficulty;
+  return b;
+}
+
+}  // namespace lncl::data

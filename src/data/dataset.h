@@ -1,0 +1,68 @@
+#ifndef LNCL_DATA_DATASET_H_
+#define LNCL_DATA_DATASET_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lncl::data {
+
+// A single example.
+//
+// The library treats classification and sequence labeling uniformly: an
+// instance consists of `NumItems` labeled "items". For sentence
+// classification there is one item per instance (the whole sentence); for
+// sequence tagging there is one item per token. Truth-inference, crowd
+// annotation, and the Logic-LNCL E-step all operate at item granularity.
+struct Instance {
+  std::vector<int> tokens;  // token ids into the corpus vocabulary
+
+  // Classification ground truth (kept for evaluation; never shown to
+  // learners). -1 when unknown / sequence task.
+  int label = -1;
+
+  // Sequence ground truth, one label per token. Empty for classification.
+  std::vector<int> tag_labels;
+
+  // Index of a contrastive conjunction ("but" / "however"), or -1. Clause B
+  // is tokens[contrast_index + 1 ..]. Consumed by the sentiment logic rule.
+  int contrast_index = -1;
+
+  // Generator-assigned annotation difficulty in [0, 1]; drives the
+  // GLAD-style crowd simulator. Not visible to learners.
+  double difficulty = 0.0;
+};
+
+// A labeled dataset (one split).
+struct Dataset {
+  std::vector<Instance> instances;
+  int num_classes = 0;
+  bool sequence = false;  // item = token (true) or whole instance (false)
+
+  int size() const { return static_cast<int>(instances.size()); }
+  int NumItems(int i) const {
+    return sequence ? static_cast<int>(instances[i].tokens.size()) : 1;
+  }
+  // Ground-truth label of item `item` of instance `i`.
+  int ItemLabel(int i, int item) const {
+    return sequence ? instances[i].tag_labels[item] : instances[i].label;
+  }
+  // Total item count across the split.
+  long TotalItems() const;
+};
+
+// Returns `count` indices sampled without replacement (subsampling for the
+// sample-efficiency experiment). If count >= dataset size, returns all.
+std::vector<int> SampleSubset(const Dataset& dataset, int count,
+                              util::Rng* rng);
+
+// Builds the dataset restricted to `indices`.
+Dataset Subset(const Dataset& dataset, const std::vector<int>& indices);
+
+// Extracts the clause-B sub-instance (tokens after the contrast conjunction)
+// for the sentiment "A-but-B" rule. Requires contrast_index >= 0.
+Instance ClauseB(const Instance& x);
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_DATASET_H_

@@ -1,0 +1,39 @@
+#ifndef LNCL_DATA_EMBEDDING_H_
+#define LNCL_DATA_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace lncl::data {
+
+// Static word-embedding table (vocab_size x dim).
+//
+// The paper uses frozen ("static") 300-d embeddings for both tasks; here the
+// corpus generators plant class-correlated embeddings directly (the synthetic
+// stand-in for pretrained word2vec/GloVe vectors), and models never update
+// them — which keeps backprop out of the lookup.
+class EmbeddingTable {
+ public:
+  EmbeddingTable(int vocab_size, int dim) : table_(vocab_size, dim) {}
+
+  int dim() const { return table_.cols(); }
+  int vocab_size() const { return table_.rows(); }
+
+  util::Matrix& table() { return table_; }
+  const util::Matrix& table() const { return table_; }
+
+  // Writes one embedding row per token into `out` (resized to T x dim).
+  // Out-of-range ids map to the zero padding row.
+  void Lookup(const std::vector<int>& tokens, util::Matrix* out) const;
+
+ private:
+  util::Matrix table_;
+};
+
+using EmbeddingPtr = std::shared_ptr<const EmbeddingTable>;
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_EMBEDDING_H_

@@ -1,0 +1,40 @@
+#ifndef LNCL_DATA_IO_H_
+#define LNCL_DATA_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "data/dataset.h"
+#include "data/vocab.h"
+
+namespace lncl::data {
+
+// Plain-text interchange formats, so the library can consume the real
+// datasets (or any user corpus) instead of the synthetic generators.
+
+// CoNLL-2003 column format for sequence datasets:
+//
+//   token<TAB>tag
+//   token<TAB>tag
+//   <blank line between sentences>
+//
+// Tags use the standard names ("O", "B-PER", ...). Save writes the dataset;
+// Load appends every sentence to `dataset` (which must have sequence = true
+// and num_classes = kNumBioLabels), growing `vocab` with unseen tokens.
+// Load returns false on a malformed line or an unknown tag name.
+void SaveConll(std::ostream& os, const Dataset& dataset, const Vocab& vocab);
+bool LoadConll(std::istream& is, Vocab* vocab, Dataset* dataset);
+
+// Sentence-classification TSV:
+//
+//   label<TAB>token token token ...
+//
+// Labels are non-negative integers. Load appends instances and grows the
+// vocabulary; returns false on malformed input.
+void SaveSentimentTsv(std::ostream& os, const Dataset& dataset,
+                      const Vocab& vocab);
+bool LoadSentimentTsv(std::istream& is, Vocab* vocab, Dataset* dataset);
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_IO_H_

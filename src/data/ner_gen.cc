@@ -1,0 +1,200 @@
+#include "data/ner_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "data/bio.h"
+#include "util/logging.h"
+
+namespace lncl::data {
+
+namespace {
+
+struct NerLexicon {
+  std::vector<int> begin_words[kNumEntityTypes];
+  std::vector<int> inside_words[kNumEntityTypes];
+  std::vector<int> cue_words[kNumEntityTypes];
+  std::vector<int> o_words;
+  // Per word id: 1 when the word carries an ambiguous secondary type.
+  std::vector<uint8_t> ambiguous;
+};
+
+NerLexicon BuildVocabAndEmbeddings(const NerGenConfig& config, Vocab* vocab,
+                                   util::Matrix* table, util::Rng* rng) {
+  NerLexicon lex;
+  const int dim = config.embedding_dim;
+
+  // Pre-register all words so the table can be sized once.
+  for (int t = 0; t < kNumEntityTypes; ++t) {
+    const std::string& tname = EntityTypeName(t);
+    for (int i = 0; i < config.begin_words_per_type; ++i) {
+      lex.begin_words[t].push_back(vocab->Add(tname + "_b" + std::to_string(i)));
+    }
+    for (int i = 0; i < config.inside_words_per_type; ++i) {
+      lex.inside_words[t].push_back(
+          vocab->Add(tname + "_i" + std::to_string(i)));
+    }
+    for (int i = 0; i < config.cue_words_per_type; ++i) {
+      lex.cue_words[t].push_back(vocab->Add(tname + "_cue" + std::to_string(i)));
+    }
+  }
+  for (int i = 0; i < config.num_o_words; ++i) {
+    lex.o_words.push_back(vocab->Add("o" + std::to_string(i)));
+  }
+  table->Resize(vocab->size(), dim);
+  lex.ambiguous.assign(vocab->size(), 0);
+
+  // Type directions and the positional (B vs I) directions.
+  util::Matrix type_dir(kNumEntityTypes, dim);
+  util::Vector begin_dir(dim), inside_dir(dim);
+  for (int t = 0; t < kNumEntityTypes; ++t) {
+    for (int d = 0; d < dim; ++d) {
+      type_dir(t, d) = static_cast<float>(rng->Gaussian(0.0, config.type_signal));
+    }
+  }
+  for (int d = 0; d < dim; ++d) {
+    begin_dir[d] = static_cast<float>(rng->Gaussian(0.0, config.position_signal));
+    inside_dir[d] =
+        static_cast<float>(rng->Gaussian(0.0, config.position_signal));
+  }
+
+  auto add_noise = [&](int id) {
+    float* row = table->Row(id);
+    for (int d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng->Gaussian(0.0, config.noise));
+    }
+  };
+  auto add_dir = [&](int id, const float* dir, double scale) {
+    float* row = table->Row(id);
+    for (int d = 0; d < dim; ++d) {
+      row[d] += static_cast<float>(scale) * dir[d];
+    }
+  };
+
+  for (int t = 0; t < kNumEntityTypes; ++t) {
+    auto plant_entity_word = [&](int id, const util::Vector& pos_dir) {
+      add_noise(id);
+      add_dir(id, type_dir.Row(t), 1.0);
+      add_dir(id, pos_dir.data(), 1.0);
+      if (rng->Bernoulli(config.ambiguous_frac)) {
+        lex.ambiguous[id] = 1;
+        int other = rng->UniformInt(kNumEntityTypes - 1);
+        if (other >= t) ++other;
+        add_dir(id, type_dir.Row(other), config.ambiguous_mix);
+      }
+    };
+    for (int id : lex.begin_words[t]) plant_entity_word(id, begin_dir);
+    for (int id : lex.inside_words[t]) plant_entity_word(id, inside_dir);
+    for (int id : lex.cue_words[t]) {
+      add_noise(id);
+      add_dir(id, type_dir.Row(t), config.cue_signal / config.type_signal);
+    }
+  }
+  for (int id : lex.o_words) {
+    add_noise(id);
+    if (rng->Bernoulli(config.confusable_frac)) {
+      const int t = rng->UniformInt(kNumEntityTypes);
+      add_dir(id, type_dir.Row(t),
+              config.confusable_scale / config.type_signal);
+    }
+  }
+  return lex;
+}
+
+int SampleEntityCount(const NerGenConfig& config, util::Rng* rng) {
+  const double r = rng->Uniform();
+  if (r < config.p_one_entity) return 1;
+  if (r < config.p_one_entity + config.p_two_entities) return 2;
+  return 3;
+}
+
+int SampleEntityLength(const NerGenConfig& config, util::Rng* rng) {
+  const double r = rng->Uniform();
+  if (r < config.p_entity_len1) return 1;
+  if (r < config.p_entity_len1 + config.p_entity_len2) return 2;
+  return 3;
+}
+
+Instance MakeInstance(const NerGenConfig& config, const NerLexicon& lex,
+                      util::Rng* rng) {
+  Instance x;
+  const int len = rng->UniformInt(config.min_len, config.max_len);
+  x.tokens.assign(len, 0);
+  x.tag_labels.assign(len, kO);
+  for (int i = 0; i < len; ++i) {
+    x.tokens[i] =
+        lex.o_words[rng->UniformInt(static_cast<int>(lex.o_words.size()))];
+  }
+
+  // Place non-overlapping entities with >= 1 O-token gap between them so that
+  // single-token boundary errors cannot merge entities.
+  int num_ambiguous = 0;
+  const int want = SampleEntityCount(config, rng);
+  std::vector<std::pair<int, int>> placed;  // [begin, end)
+  for (int e = 0; e < want; ++e) {
+    const int elen = SampleEntityLength(config, rng);
+    bool ok = false;
+    int begin = 0;
+    for (int attempt = 0; attempt < 20 && !ok; ++attempt) {
+      begin = rng->UniformInt(std::max(1, len - elen + 1));
+      ok = begin + elen <= len;
+      for (const auto& [b, en] : placed) {
+        if (begin < en + 1 && b < begin + elen + 1) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    placed.emplace_back(begin, begin + elen);
+    const int type = rng->UniformInt(kNumEntityTypes);
+    for (int i = 0; i < elen; ++i) {
+      const std::vector<int>& pool =
+          i == 0 ? lex.begin_words[type] : lex.inside_words[type];
+      const int word = pool[rng->UniformInt(static_cast<int>(pool.size()))];
+      x.tokens[begin + i] = word;
+      x.tag_labels[begin + i] =
+          i == 0 ? BeginLabel(type) : InsideLabel(type);
+      num_ambiguous += lex.ambiguous[word];
+    }
+    if (begin > 0 && x.tag_labels[begin - 1] == kO &&
+        rng->Bernoulli(config.p_cue_before)) {
+      const std::vector<int>& pool = lex.cue_words[type];
+      x.tokens[begin - 1] = pool[rng->UniformInt(static_cast<int>(pool.size()))];
+    }
+  }
+
+  x.difficulty = config.difficulty_base +
+                 config.difficulty_per_ambiguous * num_ambiguous +
+                 rng->Gaussian(0.0, config.difficulty_noise);
+  x.difficulty = std::clamp(x.difficulty, 0.0, 1.0);
+  return x;
+}
+
+}  // namespace
+
+NerCorpus GenerateNerCorpus(const NerGenConfig& config, int train_size,
+                            int dev_size, int test_size, util::Rng* rng) {
+  NerCorpus corpus;
+  auto table = std::make_shared<EmbeddingTable>(1, config.embedding_dim);
+  NerLexicon lex =
+      BuildVocabAndEmbeddings(config, &corpus.vocab, &table->table(), rng);
+  corpus.embeddings = table;
+
+  auto fill = [&](Dataset* split, int size) {
+    split->num_classes = kNumBioLabels;
+    split->sequence = true;
+    split->instances.reserve(size);
+    for (int i = 0; i < size; ++i) {
+      split->instances.push_back(MakeInstance(config, lex, rng));
+      LNCL_CHECK(IsValidBioSequence(split->instances.back().tag_labels));
+    }
+  };
+  fill(&corpus.train, train_size);
+  fill(&corpus.dev, dev_size);
+  fill(&corpus.test, test_size);
+  return corpus;
+}
+
+}  // namespace lncl::data

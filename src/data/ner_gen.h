@@ -1,0 +1,69 @@
+#ifndef LNCL_DATA_NER_GEN_H_
+#define LNCL_DATA_NER_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/embedding.h"
+#include "data/vocab.h"
+#include "util/rng.h"
+
+namespace lncl::data {
+
+// Synthetic stand-in for the CoNLL-2003 NER (MTurk) dataset.
+//
+// Sentences are template-generated token sequences labeled with the 9-class
+// BIO scheme (see data/bio.h). Each entity type owns pools of begin-,
+// inside-, and cue-words whose embeddings carry a type-correlated component;
+// a configurable fraction of entity words is *ambiguous* (shared signal with
+// a second type) and a fraction of O-words is *confusable* (weak spurious
+// type signal), which sets the Bayes error. Begin- and inside-pool words
+// additionally carry a small positional component so a tagger can learn the
+// B-/I- distinction — and therefore the transition regularity the paper's
+// logic rules (Eqs. 18-19) encode.
+struct NerGenConfig {
+  int embedding_dim = 32;
+
+  int begin_words_per_type = 30;
+  int inside_words_per_type = 20;
+  int cue_words_per_type = 12;
+  int num_o_words = 250;
+
+  double ambiguous_frac = 0.45;   // entity words with a secondary type
+  double ambiguous_mix = 0.85;    // scale of the secondary-type component
+  double confusable_frac = 0.22;  // O-words with a spurious type component
+  double confusable_scale = 0.65;
+
+  double type_signal = 0.60;     // scale of the entity-type component
+  double position_signal = 0.35; // scale of the B-/I- positional component
+  double cue_signal = 0.45;      // scale of type signal in cue words
+  double noise = 1.0;            // idiosyncratic embedding noise
+
+  int min_len = 8;
+  int max_len = 18;
+  double p_one_entity = 0.40;    // else 2 with p_two_entities, else 3
+  double p_two_entities = 0.40;
+  double p_entity_len1 = 0.40;   // entity length 1 / 2 / 3
+  double p_entity_len2 = 0.40;
+  double p_cue_before = 0.55;    // cue word immediately before an entity
+
+  double difficulty_base = 0.25;
+  double difficulty_per_ambiguous = 0.18;
+  double difficulty_noise = 0.10;
+};
+
+struct NerCorpus {
+  Vocab vocab;
+  EmbeddingPtr embeddings;
+  Dataset train;
+  Dataset dev;
+  Dataset test;
+};
+
+NerCorpus GenerateNerCorpus(const NerGenConfig& config, int train_size,
+                            int dev_size, int test_size, util::Rng* rng);
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_NER_GEN_H_

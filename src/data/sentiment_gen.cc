@@ -1,0 +1,150 @@
+#include "data/sentiment_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace lncl::data {
+
+namespace {
+
+struct Lexicon {
+  // Word ids per polarity (index 0 = negative, 1 = positive) and neutral.
+  std::vector<int> sentiment[2];
+  std::vector<int> neutral;
+};
+
+// Builds the vocabulary and the planted embedding table.
+Lexicon BuildVocabAndEmbeddings(const SentimentGenConfig& config, Vocab* vocab,
+                                util::Matrix* table, util::Rng* rng,
+                                int* but_token, int* however_token) {
+  Lexicon lex;
+  for (int i = 0; i < config.num_neutral_words; ++i) {
+    lex.neutral.push_back(vocab->Add("w" + std::to_string(i)));
+  }
+  for (int pol = 0; pol < 2; ++pol) {
+    const std::string prefix = pol == kSentimentPositive ? "pos" : "neg";
+    for (int i = 0; i < config.num_sentiment_words; ++i) {
+      lex.sentiment[pol].push_back(vocab->Add(prefix + std::to_string(i)));
+    }
+  }
+  *but_token = vocab->Add("but");
+  *however_token = vocab->Add("however");
+
+  const int dim = config.embedding_dim;
+  table->Resize(vocab->size(), dim);
+  // Class mean: mu(+) = +v, mu(-) = -v with v ~ N(0, signal^2) per entry.
+  util::Vector mu(dim);
+  for (int d = 0; d < dim; ++d) {
+    mu[d] = static_cast<float>(rng->Gaussian(0.0, config.signal));
+  }
+  auto fill_noise = [&](int id, double scale) {
+    float* row = table->Row(id);
+    for (int d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng->Gaussian(0.0, scale));
+    }
+  };
+  for (int id : lex.neutral) fill_noise(id, config.noise);
+  fill_noise(*but_token, config.noise);
+  fill_noise(*however_token, config.noise);
+  for (int pol = 0; pol < 2; ++pol) {
+    const float sign = pol == kSentimentPositive ? 1.0f : -1.0f;
+    for (int id : lex.sentiment[pol]) {
+      const double strength =
+          rng->Bernoulli(config.weak_word_frac) ? config.weak_strength : 1.0;
+      fill_noise(id, config.noise);
+      float* row = table->Row(id);
+      for (int d = 0; d < dim; ++d) {
+        row[d] += sign * static_cast<float>(strength) * mu[d];
+      }
+    }
+  }
+  return lex;
+}
+
+// Appends a clause of `len` tokens with polarity `pol` to `tokens`.
+void EmitClause(const SentimentGenConfig& config, const Lexicon& lex, int pol,
+                int len, util::Rng* rng, std::vector<int>* tokens) {
+  for (int i = 0; i < len; ++i) {
+    const double r = rng->Uniform();
+    if (r < config.p_sentiment_word) {
+      tokens->push_back(
+          lex.sentiment[pol][rng->UniformInt(
+              static_cast<int>(lex.sentiment[pol].size()))]);
+    } else if (r < config.p_sentiment_word + config.p_opposite_word) {
+      tokens->push_back(
+          lex.sentiment[1 - pol][rng->UniformInt(
+              static_cast<int>(lex.sentiment[1 - pol].size()))]);
+    } else {
+      tokens->push_back(
+          lex.neutral[rng->UniformInt(static_cast<int>(lex.neutral.size()))]);
+    }
+  }
+}
+
+Instance MakeInstance(const SentimentGenConfig& config, const Lexicon& lex,
+                      int but_token, int however_token, util::Rng* rng) {
+  Instance x;
+  const double r = rng->Uniform();
+  const bool use_but = r < config.but_frac;
+  const bool use_however = !use_but && r < config.but_frac + config.however_frac;
+  if (use_but || use_however) {
+    const int pol_a = rng->UniformInt(2);
+    const int pol_b = 1 - pol_a;
+    const int len_a =
+        rng->UniformInt(config.contrast_clause_min, config.contrast_clause_max);
+    const int len_b =
+        rng->UniformInt(config.contrast_clause_min, config.contrast_clause_max);
+    EmitClause(config, lex, pol_a, len_a, rng, &x.tokens);
+    x.contrast_index = static_cast<int>(x.tokens.size());
+    x.tokens.push_back(use_but ? but_token : however_token);
+    EmitClause(config, lex, pol_b, len_b, rng, &x.tokens);
+    const double follow_b =
+        use_but ? config.but_follow_b : config.however_follow_b;
+    x.label = rng->Bernoulli(follow_b) ? pol_b : pol_a;
+    x.difficulty = config.difficulty_base + config.difficulty_contrast;
+  } else {
+    const int pol = rng->UniformInt(2);
+    const int len = rng->UniformInt(config.min_len, config.max_len);
+    EmitClause(config, lex, pol, len, rng, &x.tokens);
+    x.label = pol;
+    x.difficulty = config.difficulty_base;
+  }
+  x.difficulty += rng->Gaussian(0.0, config.difficulty_noise);
+  x.difficulty = std::clamp(x.difficulty, 0.0, 1.0);
+  return x;
+}
+
+}  // namespace
+
+SentimentCorpus GenerateSentimentCorpus(const SentimentGenConfig& config,
+                                        int train_size, int dev_size,
+                                        int test_size, util::Rng* rng) {
+  SentimentCorpus corpus;
+  auto table = std::make_shared<EmbeddingTable>(
+      config.num_neutral_words + 2 * config.num_sentiment_words + 3,
+      config.embedding_dim);
+  Lexicon lex =
+      BuildVocabAndEmbeddings(config, &corpus.vocab, &table->table(), rng,
+                              &corpus.but_token, &corpus.however_token);
+  LNCL_CHECK(table->vocab_size() == corpus.vocab.size());
+  corpus.embeddings = table;
+
+  auto fill = [&](Dataset* split, int size) {
+    split->num_classes = kNumSentimentClasses;
+    split->sequence = false;
+    split->instances.reserve(size);
+    for (int i = 0; i < size; ++i) {
+      split->instances.push_back(MakeInstance(
+          config, lex, corpus.but_token, corpus.however_token, rng));
+    }
+  };
+  fill(&corpus.train, train_size);
+  fill(&corpus.dev, dev_size);
+  fill(&corpus.test, test_size);
+  return corpus;
+}
+
+}  // namespace lncl::data

@@ -1,0 +1,77 @@
+#ifndef LNCL_DATA_SENTIMENT_GEN_H_
+#define LNCL_DATA_SENTIMENT_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/embedding.h"
+#include "data/vocab.h"
+#include "util/rng.h"
+
+namespace lncl::data {
+
+// Synthetic stand-in for the Sentiment Polarity (MTurk) dataset [Rodrigues
+// et al. 2013 / Pang & Lee 2005].
+//
+// Sentences are built from a planted sentiment lexicon over class-correlated
+// embeddings. A configurable fraction of sentences carries an "A-but-B"
+// contrastive structure in which clause A has the opposite sentiment of
+// clause B and the sentence-level ground truth (almost always) follows B —
+// exactly the regularity the paper's logic rule (Eqs. 16-17) encodes. A
+// smaller fraction uses "however", a weaker contrast marker (used by the
+// "our-other-rules" ablation): the truth follows clause B only with
+// probability `however_follow_b`.
+struct SentimentGenConfig {
+  int embedding_dim = 32;
+
+  int num_neutral_words = 220;
+  int num_sentiment_words = 70;  // per polarity
+  double weak_word_frac = 0.4;   // sentiment words with diluted embeddings
+  double weak_strength = 0.25;   // embedding scale of weak sentiment words
+  double signal = 0.70;          // scale of the class-mean component
+  double noise = 1.0;            // per-word idiosyncratic embedding noise
+
+  int min_len = 6;
+  int max_len = 20;
+  int contrast_clause_min = 3;
+  int contrast_clause_max = 8;
+
+  double p_sentiment_word = 0.48;  // slot carries clause-polarity word
+  double p_opposite_word = 0.10;   // slot carries opposite-polarity word
+
+  double but_frac = 0.18;      // sentences with "A-but-B"
+  double however_frac = 0.06;  // sentences with "A-however-B"
+  double but_follow_b = 0.82;  // P(truth = clause-B sentiment | "but")
+  double however_follow_b = 0.60;
+
+  // Annotation-difficulty model (drives the crowd simulator).
+  double difficulty_base = 0.18;
+  double difficulty_contrast = 0.30;
+  double difficulty_noise = 0.12;
+};
+
+// Number of sentiment classes (negative = 0, positive = 1).
+inline constexpr int kNumSentimentClasses = 2;
+inline constexpr int kSentimentNegative = 0;
+inline constexpr int kSentimentPositive = 1;
+
+struct SentimentCorpus {
+  Vocab vocab;
+  EmbeddingPtr embeddings;
+  Dataset train;
+  Dataset dev;
+  Dataset test;
+  int but_token = -1;
+  int however_token = -1;
+};
+
+// Generates a corpus with the given split sizes. All randomness flows
+// through `rng`, so corpora are reproducible from the seed.
+SentimentCorpus GenerateSentimentCorpus(const SentimentGenConfig& config,
+                                        int train_size, int dev_size,
+                                        int test_size, util::Rng* rng);
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_SENTIMENT_GEN_H_

@@ -1,0 +1,19 @@
+#include "data/vocab.h"
+
+namespace lncl::data {
+
+int Vocab::Add(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Find(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace lncl::data

@@ -1,0 +1,33 @@
+#ifndef LNCL_DATA_VOCAB_H_
+#define LNCL_DATA_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lncl::data {
+
+// Bidirectional token <-> id mapping. Id 0 is reserved for padding ("<pad>").
+class Vocab {
+ public:
+  Vocab() { Add("<pad>"); }
+
+  // Returns the id of `token`, inserting it if new.
+  int Add(const std::string& token);
+
+  // Returns the id of `token` or -1 if absent.
+  int Find(const std::string& token) const;
+
+  const std::string& TokenOf(int id) const { return tokens_.at(id); }
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  static constexpr int kPadId = 0;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace lncl::data
+
+#endif  // LNCL_DATA_VOCAB_H_

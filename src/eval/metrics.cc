@@ -1,0 +1,104 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "data/bio.h"
+
+namespace lncl::eval {
+
+Predictor ModelPredictor(const models::Model& model) {
+  return [&model](const data::Instance& x) { return model.Predict(x); };
+}
+
+std::vector<int> ArgmaxRows(const util::Matrix& probs) {
+  std::vector<int> out(probs.rows());
+  for (int r = 0; r < probs.rows(); ++r) {
+    const float* row = probs.Row(r);
+    out[r] = static_cast<int>(
+        std::max_element(row, row + probs.cols()) - row);
+  }
+  return out;
+}
+
+double Accuracy(const Predictor& predict, const data::Dataset& dataset) {
+  long correct = 0;
+  long total = 0;
+  for (int i = 0; i < dataset.size(); ++i) {
+    const util::Matrix probs = predict(dataset.instances[i]);
+    const std::vector<int> pred = ArgmaxRows(probs);
+    for (int t = 0; t < dataset.NumItems(i); ++t) {
+      correct += pred[t] == dataset.ItemLabel(i, t);
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+double PosteriorAccuracy(const std::vector<util::Matrix>& posteriors,
+                         const data::Dataset& dataset) {
+  assert(static_cast<int>(posteriors.size()) == dataset.size());
+  long correct = 0;
+  long total = 0;
+  for (int i = 0; i < dataset.size(); ++i) {
+    const std::vector<int> pred = ArgmaxRows(posteriors[i]);
+    for (int t = 0; t < dataset.NumItems(i); ++t) {
+      correct += pred[t] == dataset.ItemLabel(i, t);
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+PrF1 SpanF1(const std::vector<std::vector<int>>& predicted_tags,
+            const data::Dataset& dataset) {
+  assert(static_cast<int>(predicted_tags.size()) == dataset.size());
+  long predicted = 0;
+  long gold = 0;
+  long matched = 0;
+  for (int i = 0; i < dataset.size(); ++i) {
+    const auto pred_spans = data::ExtractSpans(predicted_tags[i]);
+    const auto gold_spans = data::ExtractSpans(dataset.instances[i].tag_labels);
+    predicted += static_cast<long>(pred_spans.size());
+    gold += static_cast<long>(gold_spans.size());
+    for (const data::EntitySpan& p : pred_spans) {
+      for (const data::EntitySpan& g : gold_spans) {
+        if (p == g) {
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  PrF1 r;
+  r.precision = predicted > 0 ? static_cast<double>(matched) / predicted : 0.0;
+  r.recall = gold > 0 ? static_cast<double>(matched) / gold : 0.0;
+  r.f1 = (r.precision + r.recall) > 0.0
+             ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+             : 0.0;
+  return r;
+}
+
+PrF1 SpanF1(const Predictor& predict, const data::Dataset& dataset) {
+  std::vector<std::vector<int>> tags(dataset.size());
+  for (int i = 0; i < dataset.size(); ++i) {
+    tags[i] = ArgmaxRows(predict(dataset.instances[i]));
+  }
+  return SpanF1(tags, dataset);
+}
+
+PrF1 PosteriorSpanF1(const std::vector<util::Matrix>& posteriors,
+                     const data::Dataset& dataset) {
+  std::vector<std::vector<int>> tags(dataset.size());
+  for (int i = 0; i < dataset.size(); ++i) {
+    tags[i] = ArgmaxRows(posteriors[i]);
+  }
+  return SpanF1(tags, dataset);
+}
+
+double DevScore(const Predictor& predict, const data::Dataset& dataset) {
+  if (dataset.sequence) return SpanF1(predict, dataset).f1;
+  return Accuracy(predict, dataset);
+}
+
+}  // namespace lncl::eval

@@ -1,0 +1,58 @@
+#ifndef LNCL_EVAL_METRICS_H_
+#define LNCL_EVAL_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model.h"
+#include "util/matrix.h"
+
+namespace lncl::eval {
+
+// A model-agnostic predictor: instance -> (items x K) distribution. Wraps
+// either a raw model (student) or a rule-projected model (teacher).
+using Predictor = std::function<util::Matrix(const data::Instance&)>;
+
+Predictor ModelPredictor(const models::Model& model);
+
+// Precision / recall / F1 triple (percentages are the caller's choice; these
+// are fractions in [0, 1]).
+struct PrF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Item-level accuracy of argmax predictions against ground truth.
+double Accuracy(const Predictor& predict, const data::Dataset& dataset);
+
+// Accuracy of per-instance posterior estimates (items x K each) against
+// ground truth — the "Inference" columns of Tables II/III for
+// classification.
+double PosteriorAccuracy(const std::vector<util::Matrix>& posteriors,
+                         const data::Dataset& dataset);
+
+// Strict-criteria entity span F1 (CoNLL): a predicted span counts iff its
+// boundaries AND type match a gold span exactly.
+PrF1 SpanF1(const std::vector<std::vector<int>>& predicted_tags,
+            const data::Dataset& dataset);
+
+// Span F1 of a model/predictor on a sequence dataset (argmax decoding).
+PrF1 SpanF1(const Predictor& predict, const data::Dataset& dataset);
+
+// Span F1 of posterior estimates on a sequence dataset — the "Inference"
+// columns of Table III.
+PrF1 PosteriorSpanF1(const std::vector<util::Matrix>& posteriors,
+                     const data::Dataset& dataset);
+
+// One scalar for model selection / early stopping: accuracy for
+// classification datasets, span F1 for sequence datasets.
+double DevScore(const Predictor& predict, const data::Dataset& dataset);
+
+// Argmax decoding helpers.
+std::vector<int> ArgmaxRows(const util::Matrix& probs);
+
+}  // namespace lncl::eval
+
+#endif  // LNCL_EVAL_METRICS_H_

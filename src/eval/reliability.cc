@@ -1,0 +1,62 @@
+#include "eval/reliability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lncl::eval {
+
+ReliabilityReport CompareReliability(
+    const crowd::ConfusionSet& estimated, const crowd::ConfusionSet& actual,
+    const std::vector<long>& labels_per_annotator, long min_labels) {
+  assert(estimated.size() == actual.size());
+  assert(labels_per_annotator.size() == estimated.size());
+  ReliabilityReport report;
+  for (size_t j = 0; j < estimated.size(); ++j) {
+    if (labels_per_annotator[j] <= min_labels) continue;
+    report.estimated.push_back(estimated[j].Reliability());
+    report.actual.push_back(actual[j].Reliability());
+    report.matrix_distance.push_back(estimated[j].Distance(actual[j]));
+  }
+  const size_t n = report.estimated.size();
+  if (n == 0) return report;
+
+  double abs_err = 0.0, dist = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    abs_err += std::fabs(report.estimated[i] - report.actual[i]);
+    dist += report.matrix_distance[i];
+  }
+  report.mean_abs_reliability_error = abs_err / n;
+  report.mean_matrix_distance = dist / n;
+
+  const double me =
+      std::accumulate(report.estimated.begin(), report.estimated.end(), 0.0) /
+      n;
+  const double ma =
+      std::accumulate(report.actual.begin(), report.actual.end(), 0.0) / n;
+  double cov = 0.0, ve = 0.0, va = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double de = report.estimated[i] - me;
+    const double da = report.actual[i] - ma;
+    cov += de * da;
+    ve += de * de;
+    va += da * da;
+  }
+  report.pearson_correlation =
+      (ve > 0.0 && va > 0.0) ? cov / std::sqrt(ve * va) : 0.0;
+  return report;
+}
+
+std::vector<int> TopAnnotatorsByVolume(
+    const std::vector<long>& labels_per_annotator, int top_n) {
+  std::vector<int> idx(labels_per_annotator.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return labels_per_annotator[a] > labels_per_annotator[b];
+  });
+  if (static_cast<int>(idx.size()) > top_n) idx.resize(top_n);
+  return idx;
+}
+
+}  // namespace lncl::eval

@@ -1,0 +1,41 @@
+#ifndef LNCL_EVAL_RELIABILITY_H_
+#define LNCL_EVAL_RELIABILITY_H_
+
+#include <vector>
+
+#include "crowd/confusion.h"
+
+namespace lncl::eval {
+
+// Comparison of estimated vs. true annotator confusion matrices, used to
+// reproduce the paper's Figures 6 and 7.
+struct ReliabilityReport {
+  // Per annotator: estimated and empirical-truth scalar reliability (mean
+  // confusion diagonal; the quantity plotted in Figs. 6(b)/7(b)).
+  std::vector<double> estimated;
+  std::vector<double> actual;
+  // Per annotator: Frobenius distance between estimated and empirical
+  // confusion matrices.
+  std::vector<double> matrix_distance;
+  // Aggregates over the annotators included in the report.
+  double mean_abs_reliability_error = 0.0;
+  double mean_matrix_distance = 0.0;
+  double pearson_correlation = 0.0;  // estimated vs actual reliability
+};
+
+// Builds the report over annotators with more than `min_labels` item-level
+// labels (the paper excludes anomalous annotators with <= 5 labels in
+// Fig. 6(b)). `labels_per_annotator` comes from
+// AnnotationSet::LabelsPerAnnotator().
+ReliabilityReport CompareReliability(
+    const crowd::ConfusionSet& estimated, const crowd::ConfusionSet& actual,
+    const std::vector<long>& labels_per_annotator, long min_labels = 0);
+
+// Indices of the `top_n` annotators by label volume (the paper's Fig. 6(a)/
+// 7(a) selects the most prolific annotators for matrix display).
+std::vector<int> TopAnnotatorsByVolume(
+    const std::vector<long>& labels_per_annotator, int top_n);
+
+}  // namespace lncl::eval
+
+#endif  // LNCL_EVAL_RELIABILITY_H_

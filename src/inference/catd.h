@@ -1,0 +1,40 @@
+#ifndef LNCL_INFERENCE_CATD_H_
+#define LNCL_INFERENCE_CATD_H_
+
+#include "inference/truth_inference.h"
+
+namespace lncl::inference {
+
+// CATD (Li et al., 2014): confidence-aware truth discovery for long-tail
+// annotators. Like PM, truth and source weights are refined alternately, but
+// the weight of annotator j is the upper chi-squared confidence bound on the
+// precision of their error estimate,
+//
+//   w_j = chi2_{alpha/2}(n_j) / (sum of j's distances to the truth),
+//
+// which deliberately discounts annotators with few labels (small n_j shrinks
+// the quantile relative to the error mass).
+class Catd : public TruthInference {
+ public:
+  struct Options {
+    int max_iters = 20;
+    double alpha = 0.05;     // confidence level
+    double smoothing = 0.5;  // distance pseudo-mass
+  };
+
+  Catd() = default;
+  explicit Catd(Options options) : options_(options) {}
+
+  std::string name() const override { return "CATD"; }
+
+  std::vector<util::Matrix> Infer(const crowd::AnnotationSet& annotations,
+                                  const std::vector<int>& items_per_instance,
+                                  util::Rng* rng) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_CATD_H_

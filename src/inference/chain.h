@@ -1,0 +1,15 @@
+#ifndef LNCL_INFERENCE_CHAIN_H_
+#define LNCL_INFERENCE_CHAIN_H_
+
+#include "util/chain.h"
+
+namespace lncl::inference {
+
+// The chain smoother lives in util/chain.h so lower layers (the CRF model)
+// can share it; this alias keeps the historical spelling used by the
+// sequence aggregators.
+using util::ChainForwardBackward;
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_CHAIN_H_

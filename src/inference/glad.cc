@@ -1,0 +1,121 @@
+#include "inference/glad.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lncl::inference {
+
+namespace {
+double SigmoidD(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+Glad::Detailed Glad::RunDetailed(
+    const crowd::AnnotationSet& annotations,
+    const std::vector<int>& items_per_instance) const {
+  const ItemView view = FlattenItems(annotations, items_per_instance);
+  const int k = view.num_classes;
+  const int num_items = static_cast<int>(view.items.size());
+
+  std::vector<double> alpha(view.num_annotators, options_.alpha_init);
+  std::vector<double> gamma(num_items, 0.0);  // beta = exp(gamma)
+
+  // Posteriors, initialized by majority vote.
+  std::vector<util::Vector> q(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    q[i].assign(k, 1.0f / k);
+    if (!view.items[i].labels.empty()) {
+      std::fill(q[i].begin(), q[i].end(), 0.0f);
+      for (const auto& [j, y] : view.items[i].labels) {
+        (void)j;
+        q[i][y] += 1.0f;
+      }
+      const float inv = 1.0f / view.items[i].labels.size();
+      for (float& v : q[i]) v *= inv;
+    }
+  }
+
+  std::vector<long> labels_per_annotator(view.num_annotators, 0);
+  for (const auto& item : view.items) {
+    for (const auto& [j, y] : item.labels) {
+      (void)y;
+      ++labels_per_annotator[j];
+    }
+  }
+
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    // ---- M-step: gradient ascent on alpha, gamma. ----
+    for (int pass = 0; pass < options_.m_step_passes; ++pass) {
+      std::vector<double> g_alpha(view.num_annotators, 0.0);
+      std::vector<double> g_gamma(num_items, 0.0);
+      for (int i = 0; i < num_items; ++i) {
+        const double beta = std::exp(gamma[i]);
+        for (const auto& [j, y] : view.items[i].labels) {
+          const double s = SigmoidD(alpha[j] * beta);
+          const double c = q[i][y];  // P(label was correct)
+          g_alpha[j] += (c - s) * beta;
+          g_gamma[i] += (c - s) * alpha[j] * beta;
+        }
+      }
+      for (int j = 0; j < view.num_annotators; ++j) {
+        if (labels_per_annotator[j] == 0) continue;
+        alpha[j] += options_.learning_rate * g_alpha[j] /
+                    static_cast<double>(labels_per_annotator[j]);
+        alpha[j] = std::clamp(alpha[j], -6.0, 6.0);
+      }
+      for (int i = 0; i < num_items; ++i) {
+        const size_t n = view.items[i].labels.size();
+        if (n == 0) continue;
+        gamma[i] += options_.learning_rate * g_gamma[i] /
+                    static_cast<double>(n);
+        gamma[i] = std::clamp(gamma[i], -3.0, 3.0);
+      }
+    }
+
+    // ---- E-step. ----
+    double delta = 0.0;
+    for (int i = 0; i < num_items; ++i) {
+      const double beta = std::exp(gamma[i]);
+      util::Vector lp(k, 0.0f);
+      for (const auto& [j, y] : view.items[i].labels) {
+        const double s =
+            std::clamp(SigmoidD(alpha[j] * beta), 1e-6, 1.0 - 1e-6);
+        const double log_correct = std::log(s);
+        const double log_wrong = std::log((1.0 - s) / (k - 1));
+        for (int m = 0; m < k; ++m) {
+          lp[m] += static_cast<float>(m == y ? log_correct : log_wrong);
+        }
+      }
+      float mx = lp[0];
+      for (int m = 1; m < k; ++m) mx = std::max(mx, lp[m]);
+      double sum = 0.0;
+      util::Vector nq(k);
+      for (int m = 0; m < k; ++m) {
+        nq[m] = std::exp(lp[m] - mx);
+        sum += nq[m];
+      }
+      for (int m = 0; m < k; ++m) {
+        nq[m] = static_cast<float>(nq[m] / sum);
+        delta += std::fabs(nq[m] - q[i][m]);
+      }
+      q[i] = nq;
+    }
+    if (delta / std::max(1, num_items * k) < options_.tol) break;
+  }
+
+  Detailed out;
+  out.posteriors = UnflattenPosteriors(view, q);
+  out.ability = std::move(alpha);
+  out.difficulty.resize(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    out.difficulty[i] = std::exp(-gamma[i]);
+  }
+  return out;
+}
+
+std::vector<util::Matrix> Glad::Infer(
+    const crowd::AnnotationSet& annotations,
+    const std::vector<int>& items_per_instance, util::Rng*) const {
+  return RunDetailed(annotations, items_per_instance).posteriors;
+}
+
+}  // namespace lncl::inference

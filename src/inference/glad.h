@@ -1,0 +1,52 @@
+#ifndef LNCL_INFERENCE_GLAD_H_
+#define LNCL_INFERENCE_GLAD_H_
+
+#include "inference/truth_inference.h"
+
+namespace lncl::inference {
+
+// GLAD (Whitehill et al., 2009): jointly models annotator ability alpha_j
+// and item difficulty 1/beta_i,
+//
+//   p(y_ij = t_i) = sigmoid(alpha_j * beta_i),   beta_i = exp(gamma_i) > 0,
+//
+// with the remaining probability mass spread uniformly over the other K-1
+// labels (the standard multi-class generalization; the original model is
+// binary). Inference is EM; the M-step runs a few epochs of gradient ascent
+// on alpha and gamma, as in the original implementation.
+class Glad : public TruthInference {
+ public:
+  struct Options {
+    int max_iters = 30;
+    int m_step_passes = 3;
+    double learning_rate = 0.1;
+    double alpha_init = 1.0;
+    double tol = 1e-5;
+  };
+
+  Glad() = default;
+  explicit Glad(Options options) : options_(options) {}
+
+  std::string name() const override { return "GLAD"; }
+
+  std::vector<util::Matrix> Infer(const crowd::AnnotationSet& annotations,
+                                  const std::vector<int>& items_per_instance,
+                                  util::Rng* rng) const override;
+
+  // Final ability estimates from the last Infer call are not retained (the
+  // method is const/stateless); use RunDetailed for them.
+  struct Detailed {
+    std::vector<util::Matrix> posteriors;
+    std::vector<double> ability;     // alpha_j
+    std::vector<double> difficulty;  // 1/beta_i (larger = harder)
+  };
+  Detailed RunDetailed(const crowd::AnnotationSet& annotations,
+                       const std::vector<int>& items_per_instance) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_GLAD_H_

@@ -1,0 +1,37 @@
+#ifndef LNCL_INFERENCE_HMM_CROWD_H_
+#define LNCL_INFERENCE_HMM_CROWD_H_
+
+#include "inference/truth_inference.h"
+
+namespace lncl::inference {
+
+// HMM-Crowd (Nguyen et al., 2017): sequence-aware crowd aggregation. The
+// latent true tag sequence follows a first-order Markov chain (initial
+// distribution + transition matrix shared across sentences), and each
+// annotator emits labels through a per-annotator confusion matrix at every
+// token. EM alternates exact forward-backward smoothing (E) with
+// closed-form count updates (M).
+class HmmCrowd : public TruthInference {
+ public:
+  struct Options {
+    int max_iters = 30;
+    double smoothing = 0.1;  // Dirichlet pseudo-counts in all M-step updates
+    double tol = 1e-5;
+  };
+
+  HmmCrowd() = default;
+  explicit HmmCrowd(Options options) : options_(options) {}
+
+  std::string name() const override { return "HMM-Crowd"; }
+
+  std::vector<util::Matrix> Infer(const crowd::AnnotationSet& annotations,
+                                  const std::vector<int>& items_per_instance,
+                                  util::Rng* rng) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_HMM_CROWD_H_

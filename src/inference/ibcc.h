@@ -1,0 +1,36 @@
+#ifndef LNCL_INFERENCE_IBCC_H_
+#define LNCL_INFERENCE_IBCC_H_
+
+#include "inference/dawid_skene.h"
+
+namespace lncl::inference {
+
+// Independent Bayesian Classifier Combination (Kim & Ghahramani, 2012),
+// implemented as Dawid-Skene with a Dirichlet MAP prior on the confusion
+// rows: an informative diagonal pseudo-count encodes the belief that
+// annotators are better than chance, which stabilizes estimates for
+// low-volume annotators (the long tail in the MTurk pools).
+class Ibcc : public TruthInference {
+ public:
+  struct Options {
+    double diag_pseudo = 2.0;  // extra pseudo-counts on the diagonal
+    double smoothing = 0.5;    // symmetric Dirichlet pseudo-count
+    int max_iters = 50;
+  };
+
+  Ibcc() = default;
+  explicit Ibcc(Options options) : options_(options) {}
+
+  std::string name() const override { return "IBCC"; }
+
+  std::vector<util::Matrix> Infer(const crowd::AnnotationSet& annotations,
+                                  const std::vector<int>& items_per_instance,
+                                  util::Rng* rng) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_IBCC_H_

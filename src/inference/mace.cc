@@ -1,0 +1,100 @@
+#include "inference/mace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lncl::inference {
+
+Mace::Detailed Mace::RunDetailed(
+    const crowd::AnnotationSet& annotations,
+    const std::vector<int>& items_per_instance) const {
+  const ItemView view = FlattenItems(annotations, items_per_instance);
+  const int k = view.num_classes;
+  const int num_items = static_cast<int>(view.items.size());
+  const int num_annotators = view.num_annotators;
+
+  std::vector<double> eps(num_annotators, options_.eps_init);
+  // Spam distributions, initialized uniform.
+  std::vector<std::vector<double>> xi(
+      num_annotators, std::vector<double>(k, 1.0 / k));
+  std::vector<double> prior(k, 1.0 / k);
+
+  std::vector<util::Vector> q(num_items, util::Vector(k, 1.0f / k));
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    // ---- E-step: truth posteriors. ----
+    double delta = 0.0;
+    for (int i = 0; i < num_items; ++i) {
+      util::Vector lp(k);
+      for (int m = 0; m < k; ++m) {
+        lp[m] = static_cast<float>(std::log(std::max(prior[m], 1e-300)));
+      }
+      for (const auto& [j, y] : view.items[i].labels) {
+        for (int m = 0; m < k; ++m) {
+          const double like =
+              (m == y ? (1.0 - eps[j]) : 0.0) + eps[j] * xi[j][y];
+          lp[m] += static_cast<float>(std::log(std::max(like, 1e-300)));
+        }
+      }
+      float mx = lp[0];
+      for (int m = 1; m < k; ++m) mx = std::max(mx, lp[m]);
+      double sum = 0.0;
+      util::Vector nq(k);
+      for (int m = 0; m < k; ++m) {
+        nq[m] = std::exp(lp[m] - mx);
+        sum += nq[m];
+      }
+      for (int m = 0; m < k; ++m) {
+        nq[m] = static_cast<float>(nq[m] / sum);
+        delta += std::fabs(nq[m] - q[i][m]);
+      }
+      q[i] = nq;
+    }
+
+    // ---- Spam responsibilities + M-step. ----
+    std::vector<double> spam_mass(num_annotators, options_.smoothing);
+    std::vector<double> label_mass(num_annotators, 2.0 * options_.smoothing);
+    std::vector<std::vector<double>> xi_counts(
+        num_annotators, std::vector<double>(k, options_.smoothing));
+    std::vector<double> prior_counts(k, options_.smoothing);
+    for (int i = 0; i < num_items; ++i) {
+      for (int m = 0; m < k; ++m) prior_counts[m] += q[i][m];
+      for (const auto& [j, y] : view.items[i].labels) {
+        // r = E_q[ P(spam | T, y) ].
+        double r = 0.0;
+        for (int m = 0; m < k; ++m) {
+          const double spam = eps[j] * xi[j][y];
+          const double honest = m == y ? (1.0 - eps[j]) : 0.0;
+          r += q[i][m] * spam / std::max(spam + honest, 1e-300);
+        }
+        spam_mass[j] += r;
+        label_mass[j] += 1.0;
+        xi_counts[j][y] += r;
+      }
+    }
+    for (int j = 0; j < num_annotators; ++j) {
+      eps[j] = std::clamp(spam_mass[j] / label_mass[j], 1e-4, 1.0 - 1e-4);
+      double total = 0.0;
+      for (int m = 0; m < k; ++m) total += xi_counts[j][m];
+      for (int m = 0; m < k; ++m) xi[j][m] = xi_counts[j][m] / total;
+    }
+    double prior_total = 0.0;
+    for (double c : prior_counts) prior_total += c;
+    for (int m = 0; m < k; ++m) prior[m] = prior_counts[m] / prior_total;
+
+    if (delta / std::max(1, num_items * k) < options_.tol) break;
+  }
+
+  Detailed out;
+  out.posteriors = UnflattenPosteriors(view, q);
+  out.competence.resize(num_annotators);
+  for (int j = 0; j < num_annotators; ++j) out.competence[j] = 1.0 - eps[j];
+  return out;
+}
+
+std::vector<util::Matrix> Mace::Infer(
+    const crowd::AnnotationSet& annotations,
+    const std::vector<int>& items_per_instance, util::Rng*) const {
+  return RunDetailed(annotations, items_per_instance).posteriors;
+}
+
+}  // namespace lncl::inference

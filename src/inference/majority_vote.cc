@@ -1,0 +1,11 @@
+#include "inference/majority_vote.h"
+
+namespace lncl::inference {
+
+std::vector<util::Matrix> MajorityVote::Infer(
+    const crowd::AnnotationSet& annotations,
+    const std::vector<int>& items_per_instance, util::Rng*) const {
+  return annotations.MajorityVote(items_per_instance);
+}
+
+}  // namespace lncl::inference

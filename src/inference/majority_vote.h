@@ -1,0 +1,22 @@
+#ifndef LNCL_INFERENCE_MAJORITY_VOTE_H_
+#define LNCL_INFERENCE_MAJORITY_VOTE_H_
+
+#include "inference/truth_inference.h"
+
+namespace lncl::inference {
+
+// Majority Voting: per item, the empirical frequency of each label among the
+// received crowd labels (uniform where no labels exist). The weakest — and
+// universal — baseline; also Algorithm 1's initializer for q_f.
+class MajorityVote : public TruthInference {
+ public:
+  std::string name() const override { return "MV"; }
+
+  std::vector<util::Matrix> Infer(const crowd::AnnotationSet& annotations,
+                                  const std::vector<int>& items_per_instance,
+                                  util::Rng* rng) const override;
+};
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_MAJORITY_VOTE_H_

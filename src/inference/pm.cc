@@ -1,0 +1,53 @@
+#include "inference/pm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lncl::inference {
+
+std::vector<util::Matrix> Pm::Infer(
+    const crowd::AnnotationSet& annotations,
+    const std::vector<int>& items_per_instance, util::Rng*) const {
+  const ItemView view = FlattenItems(annotations, items_per_instance);
+  const int k = view.num_classes;
+  const int num_items = static_cast<int>(view.items.size());
+
+  std::vector<double> weight(view.num_annotators, 1.0);
+  std::vector<util::Vector> q(num_items, util::Vector(k, 1.0f / k));
+
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    // Weighted vote tallies.
+    for (int i = 0; i < num_items; ++i) {
+      std::fill(q[i].begin(), q[i].end(), 0.0f);
+      double total = 0.0;
+      for (const auto& [j, y] : view.items[i].labels) {
+        q[i][y] += static_cast<float>(weight[j]);
+        total += weight[j];
+      }
+      if (total <= 0.0) {
+        std::fill(q[i].begin(), q[i].end(), 1.0f / k);
+      } else {
+        for (float& v : q[i]) v = static_cast<float>(v / total);
+      }
+    }
+    // Error rates against the hard vote winners.
+    std::vector<double> mistakes(view.num_annotators, 0.0);
+    std::vector<double> counts(view.num_annotators, 0.0);
+    for (int i = 0; i < num_items; ++i) {
+      const int t = static_cast<int>(
+          std::max_element(q[i].begin(), q[i].end()) - q[i].begin());
+      for (const auto& [j, y] : view.items[i].labels) {
+        counts[j] += 1.0;
+        if (y != t) mistakes[j] += 1.0;
+      }
+    }
+    for (int j = 0; j < view.num_annotators; ++j) {
+      const double err = (mistakes[j] + options_.smoothing) /
+                         (counts[j] + 2.0 * options_.smoothing);
+      weight[j] = std::max(0.0, std::log((1.0 - err) / err));
+    }
+  }
+  return UnflattenPosteriors(view, q);
+}
+
+}  // namespace lncl::inference

@@ -1,0 +1,50 @@
+#ifndef LNCL_INFERENCE_ZENCROWD_H_
+#define LNCL_INFERENCE_ZENCROWD_H_
+
+#include "inference/truth_inference.h"
+
+namespace lncl::inference {
+
+// ZenCrowd (Demartini et al., WWW 2012): the "one-coin" EM aggregator. Each
+// annotator has a single reliability r_j — the probability of reporting the
+// true label — with errors spread uniformly over the other K-1 classes:
+//
+//   E: q_i(m) ∝ prior(m) * prod_j [ r_j        if y_ij = m
+//                                   (1-r_j)/(K-1) otherwise ]
+//   M: r_j = (smoothed) expected fraction of j's labels that match the truth
+//
+// One parameter per annotator, sitting between Majority Voting (no
+// parameters) and Dawid-Skene (K^2 per annotator); the right bias/variance
+// point for very sparse annotators.
+class ZenCrowd : public TruthInference {
+ public:
+  struct Options {
+    int max_iters = 50;
+    double smoothing = 1.0;  // Beta(s, s)-style pseudo-counts on r_j
+    double r_init = 0.7;
+    double tol = 1e-5;
+  };
+
+  ZenCrowd() = default;
+  explicit ZenCrowd(Options options) : options_(options) {}
+
+  std::string name() const override { return "ZenCrowd"; }
+
+  std::vector<util::Matrix> Infer(const crowd::AnnotationSet& annotations,
+                                  const std::vector<int>& items_per_instance,
+                                  util::Rng* rng) const override;
+
+  struct Detailed {
+    std::vector<util::Matrix> posteriors;
+    std::vector<double> reliability;  // r_j
+  };
+  Detailed RunDetailed(const crowd::AnnotationSet& annotations,
+                       const std::vector<int>& items_per_instance) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace lncl::inference
+
+#endif  // LNCL_INFERENCE_ZENCROWD_H_

@@ -1,0 +1,90 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "logic/soft_logic.h"
+
+namespace lncl::logic {
+
+Formula::Ptr Formula::Atom(int index, std::string name) {
+  assert(index >= 0);
+  if (name.empty()) name = "a" + std::to_string(index);
+  return Ptr(new Formula(Kind::kAtom, index, 0.0, std::move(name), nullptr,
+                         nullptr));
+}
+
+Formula::Ptr Formula::Constant(double value) {
+  return Ptr(new Formula(Kind::kConstant, -1, ClampTruth(value), "", nullptr,
+                         nullptr));
+}
+
+Formula::Ptr Formula::Not(Ptr a) {
+  return Ptr(new Formula(Kind::kNot, -1, 0.0, "", std::move(a), nullptr));
+}
+
+Formula::Ptr Formula::And(Ptr a, Ptr b) {
+  return Ptr(
+      new Formula(Kind::kAnd, -1, 0.0, "", std::move(a), std::move(b)));
+}
+
+Formula::Ptr Formula::Or(Ptr a, Ptr b) {
+  return Ptr(new Formula(Kind::kOr, -1, 0.0, "", std::move(a), std::move(b)));
+}
+
+Formula::Ptr Formula::Implies(Ptr a, Ptr b) {
+  return Ptr(
+      new Formula(Kind::kImplies, -1, 0.0, "", std::move(a), std::move(b)));
+}
+
+double Formula::Eval(const std::vector<double>& atom_values) const {
+  switch (kind_) {
+    case Kind::kAtom:
+      assert(atom_index_ < static_cast<int>(atom_values.size()));
+      return ClampTruth(atom_values[atom_index_]);
+    case Kind::kConstant:
+      return constant_;
+    case Kind::kNot:
+      return LukNot(left_->Eval(atom_values));
+    case Kind::kAnd:
+      return LukAnd(left_->Eval(atom_values), right_->Eval(atom_values));
+    case Kind::kOr:
+      return LukOr(left_->Eval(atom_values), right_->Eval(atom_values));
+    case Kind::kImplies:
+      return LukImplies(left_->Eval(atom_values), right_->Eval(atom_values));
+  }
+  return 0.0;
+}
+
+int Formula::MaxAtomIndex() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return atom_index_;
+    case Kind::kConstant:
+      return -1;
+    case Kind::kNot:
+      return left_->MaxAtomIndex();
+    default:
+      return std::max(left_->MaxAtomIndex(), right_->MaxAtomIndex());
+  }
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return name_;
+    case Kind::kConstant:
+      return std::to_string(constant_);
+    case Kind::kNot:
+      return "!" + left_->ToString();
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+    case Kind::kImplies:
+      return "(" + left_->ToString() + " -> " + right_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace lncl::logic

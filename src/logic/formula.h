@@ -1,0 +1,68 @@
+#ifndef LNCL_LOGIC_FORMULA_H_
+#define LNCL_LOGIC_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lncl::logic {
+
+// Immutable first-order-logic formula AST evaluated under the Łukasiewicz
+// relaxation (see soft_logic.h).
+//
+// Atoms are *slots*: a formula references atom indices, and a grounding
+// supplies the vector of soft truth values at evaluation time. This mirrors
+// PSL's separation between a rule template and its groundings — the same
+// formula is evaluated once per grounding with different atom values.
+class Formula {
+ public:
+  using Ptr = std::shared_ptr<const Formula>;
+
+  enum class Kind { kAtom, kConstant, kNot, kAnd, kOr, kImplies };
+
+  // Leaf referencing `atom_values[index]` at evaluation time.
+  static Ptr Atom(int index, std::string name = "");
+  // Constant soft truth value in [0, 1].
+  static Ptr Constant(double value);
+  static Ptr Not(Ptr a);
+  static Ptr And(Ptr a, Ptr b);
+  static Ptr Or(Ptr a, Ptr b);
+  static Ptr Implies(Ptr a, Ptr b);
+
+  // Soft truth value of the formula under the given atom interpretation.
+  double Eval(const std::vector<double>& atom_values) const;
+
+  // PSL's "distance to satisfaction": 1 - Eval(...). Zero when satisfied.
+  double DistanceToSatisfaction(const std::vector<double>& atom_values) const {
+    return 1.0 - Eval(atom_values);
+  }
+
+  // Largest atom index referenced (or -1 for ground constants).
+  int MaxAtomIndex() const;
+
+  // Debug rendering, e.g. "(friend(B,A) & votesFor(A,P)) -> votesFor(B,P)".
+  std::string ToString() const;
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Formula(Kind kind, int atom_index, double constant, std::string name,
+          Ptr left, Ptr right)
+      : kind_(kind),
+        atom_index_(atom_index),
+        constant_(constant),
+        name_(std::move(name)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Kind kind_;
+  int atom_index_ = -1;
+  double constant_ = 0.0;
+  std::string name_;
+  Ptr left_;
+  Ptr right_;
+};
+
+}  // namespace lncl::logic
+
+#endif  // LNCL_LOGIC_FORMULA_H_

@@ -1,0 +1,23 @@
+#include "logic/rule.h"
+
+#include <algorithm>
+
+namespace lncl::logic {
+
+double RuleSet::Penalty(const std::vector<double>& atom_values) const {
+  double total = 0.0;
+  for (const Rule& r : rules_) {
+    total += r.weight * r.formula->DistanceToSatisfaction(atom_values);
+  }
+  return total;
+}
+
+int RuleSet::MaxAtomIndex() const {
+  int mx = -1;
+  for (const Rule& r : rules_) {
+    mx = std::max(mx, r.formula->MaxAtomIndex());
+  }
+  return mx;
+}
+
+}  // namespace lncl::logic

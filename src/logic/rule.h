@@ -1,0 +1,49 @@
+#ifndef LNCL_LOGIC_RULE_H_
+#define LNCL_LOGIC_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+
+namespace lncl::logic {
+
+// A weighted first-order soft-logic rule (R_l, w_l). The weight, in [0, 1],
+// expresses credibility/importance (paper Section III-A).
+struct Rule {
+  Formula::Ptr formula;
+  double weight = 1.0;
+  std::string name;
+};
+
+// A set of weighted rules sharing one atom space.
+//
+// `Penalty` computes the total weighted distance-to-satisfaction
+// sum_l w_l * (1 - v_l) used in the exponent of the Eq. 15 projection, for a
+// single grounding (one atom interpretation).
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  void Add(Rule rule) { rules_.push_back(std::move(rule)); }
+  void Add(Formula::Ptr formula, double weight, std::string name = "") {
+    rules_.push_back({std::move(formula), weight, std::move(name)});
+  }
+
+  int size() const { return static_cast<int>(rules_.size()); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& rule(int l) const { return rules_.at(l); }
+
+  // sum_l w_l * (1 - I(R_l | atoms)).
+  double Penalty(const std::vector<double>& atom_values) const;
+
+  // Largest atom index used by any rule (for sizing interpretations).
+  int MaxAtomIndex() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace lncl::logic
+
+#endif  // LNCL_LOGIC_RULE_H_

@@ -1,0 +1,23 @@
+#include "logic/soft_logic.h"
+
+#include <algorithm>
+
+namespace lncl::logic {
+
+double ClampTruth(double v) { return std::clamp(v, 0.0, 1.0); }
+
+double LukAnd(double a, double b) {
+  return std::max(0.0, ClampTruth(a) + ClampTruth(b) - 1.0);
+}
+
+double LukOr(double a, double b) {
+  return std::min(1.0, ClampTruth(a) + ClampTruth(b));
+}
+
+double LukNot(double a) { return 1.0 - ClampTruth(a); }
+
+double LukImplies(double a, double b) {
+  return std::min(1.0, 1.0 - ClampTruth(a) + ClampTruth(b));
+}
+
+}  // namespace lncl::logic

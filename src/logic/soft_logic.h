@@ -1,0 +1,27 @@
+#ifndef LNCL_LOGIC_SOFT_LOGIC_H_
+#define LNCL_LOGIC_SOFT_LOGIC_H_
+
+namespace lncl::logic {
+
+// Łukasiewicz relaxations of the Boolean connectives used by probabilistic
+// soft logic (PSL; Eq. 4 of the paper). Soft truth values live in [0, 1];
+// all operators clamp their inputs to that range.
+
+// I(a & b) = max(0, a + b - 1)
+double LukAnd(double a, double b);
+
+// I(a | b) = min(1, a + b)
+double LukOr(double a, double b);
+
+// I(!a) = 1 - a
+double LukNot(double a);
+
+// I(a -> b) = I(!a | b) = min(1, 1 - a + b)
+double LukImplies(double a, double b);
+
+// Clamps a soft truth value into [0, 1].
+double ClampTruth(double v);
+
+}  // namespace lncl::logic
+
+#endif  // LNCL_LOGIC_SOFT_LOGIC_H_

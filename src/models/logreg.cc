@@ -1,0 +1,76 @@
+#include "models/logreg.h"
+
+#include <cassert>
+
+#include "nn/softmax.h"
+
+namespace lncl::models {
+
+LogisticRegression::LogisticRegression(int num_classes,
+                                       data::EmbeddingPtr embeddings,
+                                       util::Rng* rng)
+    : embeddings_(std::move(embeddings)),
+      fc_("logreg.fc", embeddings_->dim(), num_classes, rng) {}
+
+util::Vector LogisticRegression::Features(const data::Instance& x) const {
+  util::Matrix embedded;
+  embeddings_->Lookup(x.tokens, &embedded);
+  util::Vector feat(embeddings_->dim(), 0.0f);
+  if (embedded.rows() == 0) return feat;
+  for (int t = 0; t < embedded.rows(); ++t) {
+    const float* row = embedded.Row(t);
+    for (int d = 0; d < embedded.cols(); ++d) feat[d] += row[d];
+  }
+  const float inv = 1.0f / static_cast<float>(embedded.rows());
+  for (float& v : feat) v *= inv;
+  return feat;
+}
+
+util::Matrix LogisticRegression::Predict(const data::Instance& x) const {
+  util::Vector logits, probs;
+  fc_.Forward(Features(x), &logits);
+  nn::Softmax(logits, &probs);
+  util::Matrix out(1, num_classes());
+  std::copy(probs.begin(), probs.end(), out.Row(0));
+  return out;
+}
+
+const util::Matrix& LogisticRegression::ForwardTrain(const data::Instance& x,
+                                                     util::Rng*) {
+  feat_ = Features(x);
+  util::Vector logits, probs;
+  fc_.Forward(feat_, &logits);
+  nn::Softmax(logits, &probs);
+  probs_.Resize(1, num_classes());
+  std::copy(probs.begin(), probs.end(), probs_.Row(0));
+  return probs_;
+}
+
+double LogisticRegression::BackwardSoftTarget(const util::Matrix& q, float w) {
+  assert(q.rows() == 1 && q.cols() == num_classes());
+  const util::Vector p(probs_.Row(0), probs_.Row(0) + num_classes());
+  const util::Vector qv(q.Row(0), q.Row(0) + num_classes());
+  util::Vector grad_logits;
+  nn::SoftmaxCrossEntropyGrad(qv, p, w, &grad_logits);
+  fc_.Backward(feat_, grad_logits, nullptr);
+  return w * nn::CrossEntropy(qv, p);
+}
+
+void LogisticRegression::BackwardProbGrad(const util::Matrix& grad_probs,
+                                          float w) {
+  assert(grad_probs.rows() == 1);
+  const util::Vector p(probs_.Row(0), probs_.Row(0) + num_classes());
+  const util::Vector gp(grad_probs.Row(0), grad_probs.Row(0) + num_classes());
+  util::Vector grad_logits;
+  nn::SoftmaxJacobianVecProduct(p, gp, w, &grad_logits);
+  fc_.Backward(feat_, grad_logits, nullptr);
+}
+
+ModelFactory LogisticRegression::Factory(int num_classes,
+                                         data::EmbeddingPtr embeddings) {
+  return [num_classes, embeddings](util::Rng* rng) {
+    return std::make_unique<LogisticRegression>(num_classes, embeddings, rng);
+  };
+}
+
+}  // namespace lncl::models

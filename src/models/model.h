@@ -1,0 +1,61 @@
+#ifndef LNCL_MODELS_MODEL_H_
+#define LNCL_MODELS_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/parameter.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace lncl::models {
+
+// Common interface for trainable classifiers.
+//
+// The library views every task through the item lens (see data/dataset.h):
+// a model maps an instance to an (items x K) matrix of class distributions —
+// one row for sentence classification, one row per token for sequence
+// tagging. This lets the EM-style trainers (Logic-LNCL, AggNet, Raykar,
+// two-stage) and the crowd-layer baselines share a single code path across
+// both of the paper's applications.
+//
+// Training protocol: call ForwardTrain (dropout active, cache retained),
+// then exactly one of the Backward* methods, which accumulates parameter
+// gradients; the optimizer's Step() later consumes them. Models are not
+// thread-safe; parallelism in this library is across independent runs.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual int num_classes() const = 0;
+  virtual int NumItems(const data::Instance& x) const = 0;
+
+  // Evaluation-mode prediction (no dropout): items x K row-stochastic matrix.
+  virtual util::Matrix Predict(const data::Instance& x) const = 0;
+
+  // Training-mode forward. The returned reference stays valid until the next
+  // ForwardTrain call on this model.
+  virtual const util::Matrix& ForwardTrain(const data::Instance& x,
+                                           util::Rng* rng) = 0;
+
+  // Accumulates gradients of  w * sum_items CE(q_row, p_row)  and returns
+  // that loss. q must be items x K.
+  virtual double BackwardSoftTarget(const util::Matrix& q, float w) = 0;
+
+  // Accumulates gradients for a caller-provided dLoss/dprobs (items x K),
+  // scaled by w. Used by the crowd-layer baselines.
+  virtual void BackwardProbGrad(const util::Matrix& grad_probs, float w) = 0;
+
+  virtual std::vector<nn::Parameter*> Params() = 0;
+};
+
+// Builds a freshly initialized model; each call must produce independent
+// parameters (weights drawn from `rng`).
+using ModelFactory =
+    std::function<std::unique_ptr<Model>(util::Rng* rng)>;
+
+}  // namespace lncl::models
+
+#endif  // LNCL_MODELS_MODEL_H_

@@ -1,0 +1,115 @@
+#include "models/ner_tagger.h"
+
+#include <cassert>
+
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/softmax.h"
+
+namespace lncl::models {
+
+NerTagger::NerTagger(const NerTaggerConfig& config,
+                     data::EmbeddingPtr embeddings, util::Rng* rng)
+    : config_(config),
+      embeddings_(std::move(embeddings)),
+      conv_("ner.conv", config.conv_window, embeddings_->dim(),
+            config.conv_features, nn::Conv1d::Padding::kSame, rng),
+      fc_("ner.fc", config.gru_hidden, config.num_classes, rng) {
+  if (config_.recurrent == NerTaggerConfig::Recurrent::kGru) {
+    gru_ = std::make_unique<nn::Gru>("ner.gru", config.conv_features,
+                                     config.gru_hidden, rng);
+  } else {
+    lstm_ = std::make_unique<nn::Lstm>("ner.lstm", config.conv_features,
+                                       config.gru_hidden, rng);
+  }
+}
+
+void NerTagger::RecurrentForward(const util::Matrix& input,
+                                 nn::Gru::Cache* gru_cache,
+                                 nn::Lstm::Cache* lstm_cache,
+                                 util::Matrix* hidden) const {
+  if (gru_ != nullptr) {
+    gru_->Forward(input, gru_cache, hidden);
+  } else {
+    lstm_->Forward(input, lstm_cache, hidden);
+  }
+}
+
+util::Matrix NerTagger::Predict(const data::Instance& x) const {
+  util::Matrix embedded, conv_out, hidden, logits, probs;
+  embeddings_->Lookup(x.tokens, &embedded);
+  conv_.Forward(embedded, &conv_out);
+  nn::ReluForward(&conv_out);
+  nn::Gru::Cache gru_cache;
+  nn::Lstm::Cache lstm_cache;
+  RecurrentForward(conv_out, &gru_cache, &lstm_cache, &hidden);
+  fc_.ForwardRows(hidden, &logits);
+  nn::SoftmaxRows(logits, &probs);
+  return probs;
+}
+
+const util::Matrix& NerTagger::ForwardTrain(const data::Instance& x,
+                                            util::Rng* rng) {
+  embeddings_->Lookup(x.tokens, &cache_.embedded);
+  conv_.Forward(cache_.embedded, &cache_.conv_relu);
+  nn::ReluForward(&cache_.conv_relu);
+  cache_.conv_dropped = cache_.conv_relu;
+  nn::DropoutForward(config_.dropout, rng, &cache_.conv_dropped,
+                     &cache_.dropout_mask);
+  RecurrentForward(cache_.conv_dropped, &cache_.gru, &cache_.lstm,
+                   &cache_.hidden);
+  util::Matrix logits;
+  fc_.ForwardRows(cache_.hidden, &logits);
+  nn::SoftmaxRows(logits, &cache_.probs);
+  return cache_.probs;
+}
+
+void NerTagger::BackwardFromLogits(const util::Matrix& grad_logits) {
+  util::Matrix grad_hidden, grad_conv;
+  fc_.BackwardRows(cache_.hidden, grad_logits, &grad_hidden);
+  if (gru_ != nullptr) {
+    gru_->Backward(cache_.conv_dropped, cache_.gru, grad_hidden, &grad_conv);
+  } else {
+    lstm_->Backward(cache_.conv_dropped, cache_.lstm, grad_hidden,
+                    &grad_conv);
+  }
+  nn::DropoutBackward(config_.dropout, cache_.dropout_mask, &grad_conv);
+  nn::ReluBackward(cache_.conv_relu, &grad_conv);
+  conv_.Backward(cache_.embedded, grad_conv, nullptr);
+}
+
+double NerTagger::BackwardSoftTarget(const util::Matrix& q, float w) {
+  assert(q.rows() == cache_.probs.rows() && q.cols() == cache_.probs.cols());
+  util::Matrix grad_logits;
+  nn::SoftmaxCrossEntropyGradRows(q, cache_.probs, w, &grad_logits);
+  BackwardFromLogits(grad_logits);
+  return w * nn::CrossEntropyRows(q, cache_.probs);
+}
+
+void NerTagger::BackwardProbGrad(const util::Matrix& grad_probs, float w) {
+  assert(grad_probs.rows() == cache_.probs.rows());
+  util::Matrix grad_logits;
+  nn::SoftmaxJacobianVecProductRows(cache_.probs, grad_probs, w, &grad_logits);
+  BackwardFromLogits(grad_logits);
+}
+
+std::vector<nn::Parameter*> NerTagger::Params() {
+  std::vector<nn::Parameter*> params;
+  for (nn::Parameter* p : conv_.Params()) params.push_back(p);
+  if (gru_ != nullptr) {
+    for (nn::Parameter* p : gru_->Params()) params.push_back(p);
+  } else {
+    for (nn::Parameter* p : lstm_->Params()) params.push_back(p);
+  }
+  for (nn::Parameter* p : fc_.Params()) params.push_back(p);
+  return params;
+}
+
+ModelFactory NerTagger::Factory(const NerTaggerConfig& config,
+                                data::EmbeddingPtr embeddings) {
+  return [config, embeddings](util::Rng* rng) {
+    return std::make_unique<NerTagger>(config, embeddings, rng);
+  };
+}
+
+}  // namespace lncl::models

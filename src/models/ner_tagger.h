@@ -1,0 +1,82 @@
+#ifndef LNCL_MODELS_NER_TAGGER_H_
+#define LNCL_MODELS_NER_TAGGER_H_
+
+#include <memory>
+
+#include "data/embedding.h"
+#include "models/model.h"
+#include "nn/conv1d.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+
+namespace lncl::models {
+
+// The Rodrigues & Pereira (2018) sequence tagger used by the paper for NER:
+// static word embeddings, a same-padded width-5 convolution with ReLU,
+// dropout, a recurrent layer, and a per-token softmax layer. Widths default
+// to a CPU-friendly scale (the paper used 512 conv features and 50 GRU
+// units). The recurrent cell is a GRU as in the paper; an LSTM alternative
+// is available for the recurrent-cell ablation.
+struct NerTaggerConfig {
+  enum class Recurrent { kGru, kLstm };
+
+  int conv_window = 5;
+  int conv_features = 64;
+  int gru_hidden = 32;  // hidden size of the recurrent layer (either cell)
+  Recurrent recurrent = Recurrent::kGru;
+  double dropout = 0.5;
+  int num_classes = 9;
+};
+
+class NerTagger : public Model {
+ public:
+  NerTagger(const NerTaggerConfig& config, data::EmbeddingPtr embeddings,
+            util::Rng* rng);
+
+  int num_classes() const override { return config_.num_classes; }
+  int NumItems(const data::Instance& x) const override {
+    return static_cast<int>(x.tokens.size());
+  }
+
+  util::Matrix Predict(const data::Instance& x) const override;
+  const util::Matrix& ForwardTrain(const data::Instance& x,
+                                   util::Rng* rng) override;
+  double BackwardSoftTarget(const util::Matrix& q, float w) override;
+  void BackwardProbGrad(const util::Matrix& grad_probs, float w) override;
+  std::vector<nn::Parameter*> Params() override;
+
+  static ModelFactory Factory(const NerTaggerConfig& config,
+                              data::EmbeddingPtr embeddings);
+
+ private:
+  // Recurrent forward over `input`, into hidden (and the training caches).
+  void RecurrentForward(const util::Matrix& input, nn::Gru::Cache* gru_cache,
+                        nn::Lstm::Cache* lstm_cache,
+                        util::Matrix* hidden) const;
+
+  void BackwardFromLogits(const util::Matrix& grad_logits);
+
+  NerTaggerConfig config_;
+  data::EmbeddingPtr embeddings_;
+  nn::Conv1d conv_;
+  std::unique_ptr<nn::Gru> gru_;    // exactly one of gru_/lstm_ is set
+  std::unique_ptr<nn::Lstm> lstm_;
+  nn::Linear fc_;
+
+  struct Cache {
+    util::Matrix embedded;     // T x D
+    util::Matrix conv_relu;    // T x F (post-ReLU, pre-dropout)
+    util::Matrix conv_dropped; // T x F (recurrent-layer input)
+    std::vector<uint8_t> dropout_mask;
+    nn::Gru::Cache gru;
+    nn::Lstm::Cache lstm;
+    util::Matrix hidden;       // T x H
+    util::Matrix probs;        // T x K
+  };
+  Cache cache_;
+};
+
+}  // namespace lncl::models
+
+#endif  // LNCL_MODELS_NER_TAGGER_H_

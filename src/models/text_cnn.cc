@@ -1,0 +1,159 @@
+#include "models/text_cnn.h"
+
+#include <cassert>
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/maxpool.h"
+#include "nn/softmax.h"
+
+namespace lncl::models {
+
+TextCnn::TextCnn(const TextCnnConfig& config, data::EmbeddingPtr embeddings,
+                 util::Rng* rng)
+    : config_(config),
+      embeddings_(std::move(embeddings)),
+      fc_("cnn.fc",
+          static_cast<int>(config.windows.size()) * config.feature_maps,
+          config.num_classes, rng) {
+  if (config_.trainable_embeddings) {
+    trainable_ =
+        std::make_unique<nn::Embedding>("cnn.emb", embeddings_->table());
+  }
+  for (size_t i = 0; i < config_.windows.size(); ++i) {
+    convs_.push_back(std::make_unique<nn::Conv1d>(
+        "cnn.conv" + std::to_string(config_.windows[i]), config_.windows[i],
+        embeddings_->dim(), config_.feature_maps, nn::Conv1d::Padding::kValid,
+        rng));
+  }
+}
+
+void TextCnn::FeatureForward(const data::Instance& x, util::Vector* feat,
+                             std::vector<util::Matrix>* conv_post,
+                             std::vector<std::vector<int>>* argmax,
+                             util::Matrix* embedded) const {
+  util::Matrix local_embedded;
+  util::Matrix* emb = embedded != nullptr ? embedded : &local_embedded;
+  if (trainable_ != nullptr) {
+    trainable_->Forward(x.tokens, emb);
+  } else {
+    embeddings_->Lookup(x.tokens, emb);
+  }
+
+  const int f = config_.feature_maps;
+  feat->assign(convs_.size() * f, 0.0f);
+  for (size_t wi = 0; wi < convs_.size(); ++wi) {
+    util::Matrix local_post;
+    util::Matrix* post =
+        conv_post != nullptr ? &(*conv_post)[wi] : &local_post;
+    convs_[wi]->Forward(*emb, post);
+    nn::ReluForward(post);
+    util::Vector pooled;
+    std::vector<int> local_arg;
+    std::vector<int>* arg = argmax != nullptr ? &(*argmax)[wi] : &local_arg;
+    nn::MaxOverTimeForward(*post, &pooled, arg);
+    std::copy(pooled.begin(), pooled.end(),
+              feat->begin() + static_cast<long>(wi) * f);
+  }
+}
+
+util::Matrix TextCnn::Predict(const data::Instance& x) const {
+  util::Vector feat;
+  FeatureForward(x, &feat, nullptr, nullptr, nullptr);
+  util::Vector logits, probs;
+  fc_.Forward(feat, &logits);
+  nn::Softmax(logits, &probs);
+  util::Matrix out(1, config_.num_classes);
+  std::copy(probs.begin(), probs.end(), out.Row(0));
+  return out;
+}
+
+const util::Matrix& TextCnn::ForwardTrain(const data::Instance& x,
+                                          util::Rng* rng) {
+  cache_.tokens = x.tokens;
+  cache_.conv_post.assign(convs_.size(), util::Matrix());
+  cache_.argmax.assign(convs_.size(), {});
+  util::Vector feat;
+  FeatureForward(x, &feat, &cache_.conv_post, &cache_.argmax,
+                 &cache_.embedded);
+  nn::DropoutForward(config_.dropout, rng, &feat, &cache_.dropout_mask);
+  cache_.feat_dropped = feat;
+
+  util::Vector logits, probs;
+  fc_.Forward(feat, &logits);
+  nn::Softmax(logits, &probs);
+  cache_.probs.Resize(1, config_.num_classes);
+  std::copy(probs.begin(), probs.end(), cache_.probs.Row(0));
+  return cache_.probs;
+}
+
+void TextCnn::BackwardFromLogits(const util::Vector& grad_logits) {
+  util::Vector grad_feat;
+  fc_.Backward(cache_.feat_dropped, grad_logits, &grad_feat);
+  nn::DropoutBackward(config_.dropout, cache_.dropout_mask, &grad_feat);
+
+  const int f = config_.feature_maps;
+  util::Matrix grad_embedded;
+  if (trainable_ != nullptr) {
+    grad_embedded.Resize(cache_.embedded.rows(), cache_.embedded.cols());
+  }
+  util::Matrix grad_x;
+  for (size_t wi = 0; wi < convs_.size(); ++wi) {
+    util::Vector grad_pooled(grad_feat.begin() + static_cast<long>(wi) * f,
+                             grad_feat.begin() + static_cast<long>(wi + 1) * f);
+    util::Matrix grad_post;
+    nn::MaxOverTimeBackward(cache_.argmax[wi], grad_pooled,
+                            cache_.conv_post[wi].rows(), &grad_post);
+    nn::ReluBackward(cache_.conv_post[wi], &grad_post);
+    convs_[wi]->Backward(cache_.embedded, grad_post,
+                         trainable_ != nullptr ? &grad_x : nullptr);
+    if (trainable_ != nullptr) grad_embedded.AddScaled(grad_x, 1.0f);
+  }
+  if (trainable_ != nullptr) {
+    trainable_->Backward(cache_.tokens, grad_embedded);
+  }
+}
+
+double TextCnn::BackwardSoftTarget(const util::Matrix& q, float w) {
+  assert(q.rows() == 1 && q.cols() == config_.num_classes);
+  const util::Vector p(cache_.probs.Row(0),
+                       cache_.probs.Row(0) + config_.num_classes);
+  const util::Vector qv(q.Row(0), q.Row(0) + config_.num_classes);
+  util::Vector grad_logits;
+  nn::SoftmaxCrossEntropyGrad(qv, p, w, &grad_logits);
+  BackwardFromLogits(grad_logits);
+  return w * nn::CrossEntropy(qv, p);
+}
+
+void TextCnn::BackwardProbGrad(const util::Matrix& grad_probs, float w) {
+  assert(grad_probs.rows() == 1 && grad_probs.cols() == config_.num_classes);
+  const util::Vector p(cache_.probs.Row(0),
+                       cache_.probs.Row(0) + config_.num_classes);
+  const util::Vector gp(grad_probs.Row(0),
+                        grad_probs.Row(0) + config_.num_classes);
+  util::Vector grad_logits;
+  nn::SoftmaxJacobianVecProduct(p, gp, w, &grad_logits);
+  BackwardFromLogits(grad_logits);
+}
+
+std::vector<nn::Parameter*> TextCnn::Params() {
+  std::vector<nn::Parameter*> params;
+  if (trainable_ != nullptr) {
+    for (nn::Parameter* p : trainable_->Params()) params.push_back(p);
+  }
+  for (auto& conv : convs_) {
+    for (nn::Parameter* p : conv->Params()) params.push_back(p);
+  }
+  for (nn::Parameter* p : fc_.Params()) params.push_back(p);
+  return params;
+}
+
+ModelFactory TextCnn::Factory(const TextCnnConfig& config,
+                              data::EmbeddingPtr embeddings) {
+  return [config, embeddings](util::Rng* rng) {
+    return std::make_unique<TextCnn>(config, embeddings, rng);
+  };
+}
+
+}  // namespace lncl::models

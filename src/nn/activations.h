@@ -1,0 +1,29 @@
+#ifndef LNCL_NN_ACTIVATIONS_H_
+#define LNCL_NN_ACTIVATIONS_H_
+
+#include <cmath>
+
+#include "util/matrix.h"
+
+namespace lncl::nn {
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// In-place ReLU on pre-activations; the pre-activation matrix must be kept by
+// the caller if a backward pass follows (see ReluBackward).
+void ReluForward(util::Matrix* x);
+void ReluForward(util::Vector* x);
+
+// Zeroes gradient entries where the pre-activation was <= 0. `pre` is the
+// matrix BEFORE ReluForward was applied... since ReluForward is in-place the
+// post-activation works equally (relu(x) > 0 iff x > 0).
+void ReluBackward(const util::Matrix& post, util::Matrix* grad);
+void ReluBackward(const util::Vector& post, util::Vector* grad);
+
+// Elementwise tanh / sigmoid forward (in place).
+void TanhForward(util::Vector* x);
+void SigmoidForward(util::Vector* x);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_ACTIVATIONS_H_

@@ -1,0 +1,78 @@
+#include "nn/conv1d.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lncl::nn {
+
+Conv1d::Conv1d(const std::string& name, int window, int in_dim, int filters,
+               Padding padding, util::Rng* rng)
+    : window_(window),
+      in_dim_(in_dim),
+      padding_(padding),
+      w_(name + ".w", filters, window * in_dim),
+      b_(name + ".b", 1, filters) {
+  GlorotInit(rng, &w_.value, window * in_dim, filters);
+}
+
+int Conv1d::OutRows(int t) const {
+  if (padding_ == Padding::kSame) return t;
+  return std::max(1, t - window_ + 1);
+}
+
+void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
+  assert(x.cols() == in_dim_);
+  const int t = x.rows();
+  const int out_rows = OutRows(t);
+  const int f = filters();
+  y->Resize(out_rows, f);
+  const float* bias = b_.value.Row(0);
+  for (int o = 0; o < out_rows; ++o) {
+    const int start = WindowStart(o);
+    float* out = y->Row(o);
+    for (int k = 0; k < f; ++k) out[k] = bias[k];
+    for (int wi = 0; wi < window_; ++wi) {
+      const int r = start + wi;
+      if (r < 0 || r >= t) continue;  // zero padding
+      const float* xin = x.Row(r);
+      for (int k = 0; k < f; ++k) {
+        const float* wrow = w_.value.Row(k) + wi * in_dim_;
+        float s = 0.0f;
+        for (int d = 0; d < in_dim_; ++d) s += wrow[d] * xin[d];
+        out[k] += s;
+      }
+    }
+  }
+}
+
+void Conv1d::Backward(const util::Matrix& x, const util::Matrix& grad_y,
+                      util::Matrix* grad_x) {
+  const int t = x.rows();
+  assert(grad_y.rows() == OutRows(t));
+  assert(grad_y.cols() == filters());
+  if (grad_x != nullptr) grad_x->Resize(t, in_dim_);
+  float* gbias = b_.grad.Row(0);
+  for (int o = 0; o < grad_y.rows(); ++o) {
+    const int start = WindowStart(o);
+    const float* gout = grad_y.Row(o);
+    for (int k = 0; k < filters(); ++k) gbias[k] += gout[k];
+    for (int wi = 0; wi < window_; ++wi) {
+      const int r = start + wi;
+      if (r < 0 || r >= t) continue;
+      const float* xin = x.Row(r);
+      for (int k = 0; k < filters(); ++k) {
+        const float g = gout[k];
+        if (g == 0.0f) continue;
+        float* gw = w_.grad.Row(k) + wi * in_dim_;
+        for (int d = 0; d < in_dim_; ++d) gw[d] += g * xin[d];
+        if (grad_x != nullptr) {
+          const float* wrow = w_.value.Row(k) + wi * in_dim_;
+          float* gx = grad_x->Row(r);
+          for (int d = 0; d < in_dim_; ++d) gx[d] += g * wrow[d];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,71 @@
+#ifndef LNCL_NN_CONV1D_H_
+#define LNCL_NN_CONV1D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace lncl::nn {
+
+// One-dimensional convolution over a token sequence.
+//
+// The input is a T x D matrix (one embedding row per token). Each of F
+// filters spans `window` consecutive tokens (a window x D patch, flattened to
+// a window*D weight row). Two padding modes:
+//
+//  * kValid: output is (T - window + 1) x F — the Kim (2014) text-CNN filter.
+//  * kSame:  output is T x F with zero padding on both sides — the
+//    Rodrigues & Pereira (2018) NER feature extractor (window 5).
+//
+// Forward emits pre-activations; apply ReluForward separately so backward can
+// use the retained post-activation mask.
+class Conv1d {
+ public:
+  enum class Padding { kValid, kSame };
+
+  Conv1d(const std::string& name, int window, int in_dim, int filters,
+         Padding padding, util::Rng* rng);
+
+  Conv1d(const Conv1d&) = delete;
+  Conv1d& operator=(const Conv1d&) = delete;
+
+  // x: T x in_dim. y: rows depend on padding (see above), cols = filters.
+  // For kValid inputs shorter than `window`, the input is implicitly
+  // zero-padded at the end to `window` rows (output has exactly one row).
+  void Forward(const util::Matrix& x, util::Matrix* y) const;
+
+  // Accumulates parameter grads; writes dL/dx (same shape as x) when grad_x
+  // is non-null.
+  void Backward(const util::Matrix& x, const util::Matrix& grad_y,
+                util::Matrix* grad_x);
+
+  std::vector<Parameter*> Params() { return {&w_, &b_}; }
+
+  int window() const { return window_; }
+  int in_dim() const { return in_dim_; }
+  int filters() const { return w_.value.rows(); }
+  Padding padding() const { return padding_; }
+
+  // Number of output rows for a T-row input.
+  int OutRows(int t) const;
+
+ private:
+  // Leftmost input row index covered by output row `o` (may be negative for
+  // kSame padding).
+  int WindowStart(int o) const {
+    return padding_ == Padding::kSame ? o - (window_ - 1) / 2 : o;
+  }
+
+  int window_;
+  int in_dim_;
+  Padding padding_;
+  Parameter w_;  // filters x (window * in_dim)
+  Parameter b_;  // 1 x filters
+};
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_CONV1D_H_

@@ -1,0 +1,56 @@
+#include "nn/dropout.h"
+
+#include <cassert>
+
+namespace lncl::nn {
+
+namespace {
+
+void ApplyForward(double rate, util::Rng* rng, float* data, size_t n,
+                  std::vector<uint8_t>* mask) {
+  mask->assign(n, 1);
+  if (rate <= 0.0) return;
+  const float scale = static_cast<float>(1.0 / (1.0 - rate));
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Uniform() < rate) {
+      (*mask)[i] = 0;
+      data[i] = 0.0f;
+    } else {
+      data[i] *= scale;
+    }
+  }
+}
+
+void ApplyBackward(double rate, const std::vector<uint8_t>& mask, float* grad,
+                   size_t n) {
+  assert(mask.size() == n);
+  if (rate <= 0.0) return;
+  const float scale = static_cast<float>(1.0 / (1.0 - rate));
+  for (size_t i = 0; i < n; ++i) {
+    grad[i] = mask[i] ? grad[i] * scale : 0.0f;
+  }
+}
+
+}  // namespace
+
+void DropoutForward(double rate, util::Rng* rng, util::Vector* x,
+                    std::vector<uint8_t>* mask) {
+  ApplyForward(rate, rng, x->data(), x->size(), mask);
+}
+
+void DropoutForward(double rate, util::Rng* rng, util::Matrix* x,
+                    std::vector<uint8_t>* mask) {
+  ApplyForward(rate, rng, x->data(), x->size(), mask);
+}
+
+void DropoutBackward(double rate, const std::vector<uint8_t>& mask,
+                     util::Vector* grad) {
+  ApplyBackward(rate, mask, grad->data(), grad->size());
+}
+
+void DropoutBackward(double rate, const std::vector<uint8_t>& mask,
+                     util::Matrix* grad) {
+  ApplyBackward(rate, mask, grad->data(), grad->size());
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,28 @@
+#ifndef LNCL_NN_DROPOUT_H_
+#define LNCL_NN_DROPOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace lncl::nn {
+
+// Inverted dropout: kept units are scaled by 1/(1-p) during training so that
+// no rescaling is required at inference time. `mask[i]` is 1 when unit i was
+// kept. A rate of 0 keeps everything (mask all ones).
+void DropoutForward(double rate, util::Rng* rng, util::Vector* x,
+                    std::vector<uint8_t>* mask);
+void DropoutForward(double rate, util::Rng* rng, util::Matrix* x,
+                    std::vector<uint8_t>* mask);
+
+// Backward for the same mask/rate.
+void DropoutBackward(double rate, const std::vector<uint8_t>& mask,
+                     util::Vector* grad);
+void DropoutBackward(double rate, const std::vector<uint8_t>& mask,
+                     util::Matrix* grad);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_DROPOUT_H_

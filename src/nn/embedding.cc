@@ -1,0 +1,37 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lncl::nn {
+
+Embedding::Embedding(const std::string& name, const util::Matrix& init)
+    : table_(name + ".table", init.rows(), init.cols()) {
+  table_.value = init;
+}
+
+void Embedding::Forward(const std::vector<int>& tokens,
+                        util::Matrix* out) const {
+  out->Resize(static_cast<int>(tokens.size()), dim());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const int id = tokens[t];
+    if (id <= 0 || id >= vocab_size()) continue;
+    const float* src = table_.value.Row(id);
+    std::copy(src, src + dim(), out->Row(static_cast<int>(t)));
+  }
+}
+
+void Embedding::Backward(const std::vector<int>& tokens,
+                         const util::Matrix& grad_out) {
+  assert(grad_out.rows() == static_cast<int>(tokens.size()));
+  assert(grad_out.cols() == dim());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const int id = tokens[t];
+    if (id <= 0 || id >= vocab_size()) continue;
+    float* dst = table_.grad.Row(id);
+    const float* src = grad_out.Row(static_cast<int>(t));
+    for (int d = 0; d < dim(); ++d) dst[d] += src[d];
+  }
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,42 @@
+#ifndef LNCL_NN_EMBEDDING_H_
+#define LNCL_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/matrix.h"
+
+namespace lncl::nn {
+
+// Trainable embedding lookup (the "non-static" channel of Kim 2014).
+//
+// The table is a Parameter initialized from a pre-trained matrix; Forward
+// gathers one row per token, Backward scatter-adds the output gradient back
+// into the table rows. Token id 0 (padding) and out-of-range ids map to a
+// zero row and receive no gradient.
+class Embedding {
+ public:
+  Embedding(const std::string& name, const util::Matrix& init);
+
+  Embedding(const Embedding&) = delete;
+  Embedding& operator=(const Embedding&) = delete;
+
+  // out is resized to tokens.size() x dim.
+  void Forward(const std::vector<int>& tokens, util::Matrix* out) const;
+
+  // grad_out: tokens.size() x dim gradients from the consumer.
+  void Backward(const std::vector<int>& tokens, const util::Matrix& grad_out);
+
+  std::vector<Parameter*> Params() { return {&table_}; }
+
+  int dim() const { return table_.value.cols(); }
+  int vocab_size() const { return table_.value.rows(); }
+
+ private:
+  Parameter table_;
+};
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_EMBEDDING_H_

@@ -1,0 +1,44 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lncl::nn {
+
+GradCheckResult CheckGradients(const std::function<double()>& loss_fn,
+                               const std::function<void()>& compute_grads,
+                               const std::vector<Parameter*>& params,
+                               util::Rng* rng, double eps,
+                               int samples_per_param) {
+  GradCheckResult result;
+  compute_grads();
+  for (Parameter* p : params) {
+    const int n = static_cast<int>(p->value.size());
+    if (n == 0) continue;
+    const int samples = std::min(samples_per_param, n);
+    std::vector<int> coords = rng->SampleWithoutReplacement(n, samples);
+    for (int idx : coords) {
+      float* v = p->value.data() + idx;
+      const float original = *v;
+      *v = original + static_cast<float>(eps);
+      const double loss_plus = loss_fn();
+      *v = original - static_cast<float>(eps);
+      const double loss_minus = loss_fn();
+      *v = original;
+      const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+      const double analytic = p->grad.data()[idx];
+      const double abs_err = std::fabs(analytic - numeric);
+      // The denominator floor absorbs float32 finite-difference noise on
+      // near-zero gradients (|a|+|n| ~ 1e-4 would otherwise explode the
+      // ratio for an absolute error of the same magnitude).
+      const double rel_err =
+          abs_err / std::max(1e-2, std::fabs(analytic) + std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      ++result.checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace lncl::nn

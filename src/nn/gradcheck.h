@@ -1,0 +1,35 @@
+#ifndef LNCL_NN_GRADCHECK_H_
+#define LNCL_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace lncl::nn {
+
+// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;  // max |analytic - numeric|
+  double max_rel_error = 0.0;  // max scaled error (see below)
+  int checked = 0;             // number of coordinates compared
+};
+
+// Compares analytic gradients against central finite differences.
+//
+// `loss_fn` must deterministically recompute the scalar loss from the current
+// parameter values (no dropout / RNG inside, or a fixed seed). `compute_grads`
+// must zero and then fill each parameter's grad for the same loss. At most
+// `samples_per_param` random coordinates are probed per parameter. Relative
+// error is |a - n| / max(1e-2, |a| + |n|): symmetric scaling with a floor
+// that tolerates float32 finite-difference noise on near-zero gradients.
+GradCheckResult CheckGradients(const std::function<double()>& loss_fn,
+                               const std::function<void()>& compute_grads,
+                               const std::vector<Parameter*>& params,
+                               util::Rng* rng, double eps = 1e-3,
+                               int samples_per_param = 12);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_GRADCHECK_H_

@@ -1,0 +1,152 @@
+#include "nn/gru.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace lncl::nn {
+
+Gru::Gru(const std::string& name, int in_dim, int hidden_dim, util::Rng* rng)
+    : wz_(name + ".wz", hidden_dim, in_dim),
+      uz_(name + ".uz", hidden_dim, hidden_dim),
+      bz_(name + ".bz", 1, hidden_dim),
+      wr_(name + ".wr", hidden_dim, in_dim),
+      ur_(name + ".ur", hidden_dim, hidden_dim),
+      br_(name + ".br", 1, hidden_dim),
+      wc_(name + ".wc", hidden_dim, in_dim),
+      uc_(name + ".uc", hidden_dim, hidden_dim),
+      bc_(name + ".bc", 1, hidden_dim) {
+  GlorotInit(rng, &wz_.value);
+  GlorotInit(rng, &uz_.value);
+  GlorotInit(rng, &wr_.value);
+  GlorotInit(rng, &ur_.value);
+  GlorotInit(rng, &wc_.value);
+  GlorotInit(rng, &uc_.value);
+}
+
+void Gru::Forward(const util::Matrix& x, Cache* cache,
+                  util::Matrix* h_out) const {
+  assert(x.cols() == in_dim());
+  const int t_len = x.rows();
+  const int h_dim = hidden_dim();
+  cache->h.Resize(t_len, h_dim);
+  cache->z.Resize(t_len, h_dim);
+  cache->r.Resize(t_len, h_dim);
+  cache->c.Resize(t_len, h_dim);
+
+  util::Vector h_prev(h_dim, 0.0f);
+  util::Vector xt(in_dim());
+  util::Vector tmp_a, tmp_b, rh(h_dim);
+  for (int t = 0; t < t_len; ++t) {
+    const float* xrow = x.Row(t);
+    std::copy(xrow, xrow + in_dim(), xt.begin());
+
+    float* z = cache->z.Row(t);
+    float* r = cache->r.Row(t);
+    float* c = cache->c.Row(t);
+    float* h = cache->h.Row(t);
+
+    // z_t
+    util::MatVec(wz_.value, xt, &tmp_a);
+    util::MatVec(uz_.value, h_prev, &tmp_b);
+    for (int k = 0; k < h_dim; ++k) {
+      z[k] = Sigmoid(tmp_a[k] + tmp_b[k] + bz_.value(0, k));
+    }
+    // r_t
+    util::MatVec(wr_.value, xt, &tmp_a);
+    util::MatVec(ur_.value, h_prev, &tmp_b);
+    for (int k = 0; k < h_dim; ++k) {
+      r[k] = Sigmoid(tmp_a[k] + tmp_b[k] + br_.value(0, k));
+    }
+    // c_t
+    for (int k = 0; k < h_dim; ++k) rh[k] = r[k] * h_prev[k];
+    util::MatVec(wc_.value, xt, &tmp_a);
+    util::MatVec(uc_.value, rh, &tmp_b);
+    for (int k = 0; k < h_dim; ++k) {
+      c[k] = std::tanh(tmp_a[k] + tmp_b[k] + bc_.value(0, k));
+    }
+    // h_t
+    for (int k = 0; k < h_dim; ++k) {
+      h[k] = (1.0f - z[k]) * h_prev[k] + z[k] * c[k];
+      h_prev[k] = h[k];
+    }
+  }
+  *h_out = cache->h;
+}
+
+void Gru::Backward(const util::Matrix& x, const Cache& cache,
+                   const util::Matrix& grad_h, util::Matrix* grad_x) {
+  const int t_len = x.rows();
+  const int h_dim = hidden_dim();
+  assert(grad_h.rows() == t_len && grad_h.cols() == h_dim);
+  if (grad_x != nullptr) grad_x->Resize(t_len, in_dim());
+
+  util::Vector dh_next(h_dim, 0.0f);
+  util::Vector dh(h_dim), dz_pre(h_dim), dr_pre(h_dim), dc_pre(h_dim);
+  util::Vector drh(h_dim), xt(in_dim()), h_prev(h_dim), tmp;
+  for (int t = t_len - 1; t >= 0; --t) {
+    const float* xrow = x.Row(t);
+    std::copy(xrow, xrow + in_dim(), xt.begin());
+    if (t > 0) {
+      const float* hp = cache.h.Row(t - 1);
+      std::copy(hp, hp + h_dim, h_prev.begin());
+    } else {
+      std::fill(h_prev.begin(), h_prev.end(), 0.0f);
+    }
+    const float* z = cache.z.Row(t);
+    const float* r = cache.r.Row(t);
+    const float* c = cache.c.Row(t);
+    const float* gh = grad_h.Row(t);
+
+    for (int k = 0; k < h_dim; ++k) dh[k] = gh[k] + dh_next[k];
+
+    // Through h_t = (1-z) h_prev + z c.
+    for (int k = 0; k < h_dim; ++k) {
+      const float dzk = dh[k] * (c[k] - h_prev[k]);
+      const float dck = dh[k] * z[k];
+      dh_next[k] = dh[k] * (1.0f - z[k]);  // start accumulating dL/dh_{t-1}
+      dz_pre[k] = dzk * z[k] * (1.0f - z[k]);
+      dc_pre[k] = dck * (1.0f - c[k] * c[k]);
+    }
+
+    // Candidate branch: c = tanh(Wc x + Uc (r.h_prev) + bc).
+    util::Vector rh(h_dim);
+    for (int k = 0; k < h_dim; ++k) rh[k] = r[k] * h_prev[k];
+    util::OuterAdd(dc_pre, xt, 1.0f, &wc_.grad);
+    util::OuterAdd(dc_pre, rh, 1.0f, &uc_.grad);
+    for (int k = 0; k < h_dim; ++k) bc_.grad(0, k) += dc_pre[k];
+    util::MatVecTrans(uc_.value, dc_pre, &drh);
+    for (int k = 0; k < h_dim; ++k) {
+      const float drk = drh[k] * h_prev[k];
+      dh_next[k] += drh[k] * r[k];
+      dr_pre[k] = drk * r[k] * (1.0f - r[k]);
+    }
+
+    // Gate branches.
+    util::OuterAdd(dz_pre, xt, 1.0f, &wz_.grad);
+    util::OuterAdd(dz_pre, h_prev, 1.0f, &uz_.grad);
+    util::OuterAdd(dr_pre, xt, 1.0f, &wr_.grad);
+    util::OuterAdd(dr_pre, h_prev, 1.0f, &ur_.grad);
+    for (int k = 0; k < h_dim; ++k) {
+      bz_.grad(0, k) += dz_pre[k];
+      br_.grad(0, k) += dr_pre[k];
+    }
+    util::MatVecTrans(uz_.value, dz_pre, &tmp);
+    for (int k = 0; k < h_dim; ++k) dh_next[k] += tmp[k];
+    util::MatVecTrans(ur_.value, dr_pre, &tmp);
+    for (int k = 0; k < h_dim; ++k) dh_next[k] += tmp[k];
+
+    if (grad_x != nullptr) {
+      float* gx = grad_x->Row(t);
+      util::MatVecTrans(wz_.value, dz_pre, &tmp);
+      for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
+      util::MatVecTrans(wr_.value, dr_pre, &tmp);
+      for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
+      util::MatVecTrans(wc_.value, dc_pre, &tmp);
+      for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
+    }
+  }
+}
+
+}  // namespace lncl::nn

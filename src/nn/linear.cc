@@ -1,0 +1,57 @@
+#include "nn/linear.h"
+
+#include <cassert>
+
+namespace lncl::nn {
+
+Linear::Linear(const std::string& name, int in_dim, int out_dim,
+               util::Rng* rng)
+    : w_(name + ".w", out_dim, in_dim), b_(name + ".b", 1, out_dim) {
+  GlorotInit(rng, &w_.value);
+}
+
+void Linear::Forward(const util::Vector& x, util::Vector* y) const {
+  util::MatVec(w_.value, x, y);
+  const float* b = b_.value.Row(0);
+  for (int i = 0; i < out_dim(); ++i) (*y)[i] += b[i];
+}
+
+void Linear::ForwardRows(const util::Matrix& x, util::Matrix* y) const {
+  assert(x.cols() == in_dim());
+  util::MatMulTransB(x, w_.value, y);
+  const float* b = b_.value.Row(0);
+  for (int r = 0; r < y->rows(); ++r) {
+    float* row = y->Row(r);
+    for (int c = 0; c < y->cols(); ++c) row[c] += b[c];
+  }
+}
+
+void Linear::Backward(const util::Vector& x, const util::Vector& grad_y,
+                      util::Vector* grad_x) {
+  assert(static_cast<int>(grad_y.size()) == out_dim());
+  util::OuterAdd(grad_y, x, 1.0f, &w_.grad);
+  float* gb = b_.grad.Row(0);
+  for (int i = 0; i < out_dim(); ++i) gb[i] += grad_y[i];
+  if (grad_x != nullptr) {
+    util::MatVecTrans(w_.value, grad_y, grad_x);
+  }
+}
+
+void Linear::BackwardRows(const util::Matrix& x, const util::Matrix& grad_y,
+                          util::Matrix* grad_x) {
+  assert(x.rows() == grad_y.rows());
+  // dW = grad_y^T * x ; accumulate.
+  util::Matrix dw;
+  util::MatMulTransA(grad_y, x, &dw);
+  w_.grad.AddScaled(dw, 1.0f);
+  float* gb = b_.grad.Row(0);
+  for (int r = 0; r < grad_y.rows(); ++r) {
+    const float* row = grad_y.Row(r);
+    for (int c = 0; c < grad_y.cols(); ++c) gb[c] += row[c];
+  }
+  if (grad_x != nullptr) {
+    util::MatMul(grad_y, w_.value, grad_x);
+  }
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,150 @@
+#include "nn/lstm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace lncl::nn {
+
+Lstm::Lstm(const std::string& name, int in_dim, int hidden_dim,
+           util::Rng* rng)
+    : wi_(name + ".wi", hidden_dim, in_dim),
+      ui_(name + ".ui", hidden_dim, hidden_dim),
+      bi_(name + ".bi", 1, hidden_dim),
+      wf_(name + ".wf", hidden_dim, in_dim),
+      uf_(name + ".uf", hidden_dim, hidden_dim),
+      bf_(name + ".bf", 1, hidden_dim),
+      wo_(name + ".wo", hidden_dim, in_dim),
+      uo_(name + ".uo", hidden_dim, hidden_dim),
+      bo_(name + ".bo", 1, hidden_dim),
+      wg_(name + ".wg", hidden_dim, in_dim),
+      ug_(name + ".ug", hidden_dim, hidden_dim),
+      bg_(name + ".bg", 1, hidden_dim) {
+  GlorotInit(rng, &wi_.value);
+  GlorotInit(rng, &ui_.value);
+  GlorotInit(rng, &wf_.value);
+  GlorotInit(rng, &uf_.value);
+  GlorotInit(rng, &wo_.value);
+  GlorotInit(rng, &uo_.value);
+  GlorotInit(rng, &wg_.value);
+  GlorotInit(rng, &ug_.value);
+  // Forget-gate bias at +1 keeps early memories alive.
+  for (int k = 0; k < hidden_dim; ++k) bf_.value(0, k) = 1.0f;
+}
+
+void Lstm::Forward(const util::Matrix& x, Cache* cache,
+                   util::Matrix* h_out) const {
+  assert(x.cols() == in_dim());
+  const int t_len = x.rows();
+  const int h_dim = hidden_dim();
+  cache->h.Resize(t_len, h_dim);
+  cache->c.Resize(t_len, h_dim);
+  cache->i.Resize(t_len, h_dim);
+  cache->f.Resize(t_len, h_dim);
+  cache->o.Resize(t_len, h_dim);
+  cache->g.Resize(t_len, h_dim);
+
+  util::Vector h_prev(h_dim, 0.0f), c_prev(h_dim, 0.0f);
+  util::Vector xt(in_dim()), a, b;
+  auto gate = [&](const Parameter& w, const Parameter& u,
+                  const Parameter& bias, float* out, bool tanh_act) {
+    util::MatVec(w.value, xt, &a);
+    util::MatVec(u.value, h_prev, &b);
+    for (int k = 0; k < h_dim; ++k) {
+      const float pre = a[k] + b[k] + bias.value(0, k);
+      out[k] = tanh_act ? std::tanh(pre) : Sigmoid(pre);
+    }
+  };
+  for (int t = 0; t < t_len; ++t) {
+    std::copy(x.Row(t), x.Row(t) + in_dim(), xt.begin());
+    float* i = cache->i.Row(t);
+    float* f = cache->f.Row(t);
+    float* o = cache->o.Row(t);
+    float* g = cache->g.Row(t);
+    float* c = cache->c.Row(t);
+    float* h = cache->h.Row(t);
+    gate(wi_, ui_, bi_, i, false);
+    gate(wf_, uf_, bf_, f, false);
+    gate(wo_, uo_, bo_, o, false);
+    gate(wg_, ug_, bg_, g, true);
+    for (int k = 0; k < h_dim; ++k) {
+      c[k] = f[k] * c_prev[k] + i[k] * g[k];
+      h[k] = o[k] * std::tanh(c[k]);
+      c_prev[k] = c[k];
+      h_prev[k] = h[k];
+    }
+  }
+  *h_out = cache->h;
+}
+
+void Lstm::Backward(const util::Matrix& x, const Cache& cache,
+                    const util::Matrix& grad_h, util::Matrix* grad_x) {
+  const int t_len = x.rows();
+  const int h_dim = hidden_dim();
+  assert(grad_h.rows() == t_len && grad_h.cols() == h_dim);
+  if (grad_x != nullptr) grad_x->Resize(t_len, in_dim());
+
+  util::Vector dh_next(h_dim, 0.0f), dc_next(h_dim, 0.0f);
+  util::Vector di_pre(h_dim), df_pre(h_dim), do_pre(h_dim), dg_pre(h_dim);
+  util::Vector xt(in_dim()), h_prev(h_dim), c_prev(h_dim), tmp;
+  for (int t = t_len - 1; t >= 0; --t) {
+    std::copy(x.Row(t), x.Row(t) + in_dim(), xt.begin());
+    if (t > 0) {
+      std::copy(cache.h.Row(t - 1), cache.h.Row(t - 1) + h_dim,
+                h_prev.begin());
+      std::copy(cache.c.Row(t - 1), cache.c.Row(t - 1) + h_dim,
+                c_prev.begin());
+    } else {
+      std::fill(h_prev.begin(), h_prev.end(), 0.0f);
+      std::fill(c_prev.begin(), c_prev.end(), 0.0f);
+    }
+    const float* i = cache.i.Row(t);
+    const float* f = cache.f.Row(t);
+    const float* o = cache.o.Row(t);
+    const float* g = cache.g.Row(t);
+    const float* c = cache.c.Row(t);
+    const float* gh = grad_h.Row(t);
+
+    for (int k = 0; k < h_dim; ++k) {
+      const float dh = gh[k] + dh_next[k];
+      const float tanh_c = std::tanh(c[k]);
+      const float dok = dh * tanh_c;
+      const float dc = dh * o[k] * (1.0f - tanh_c * tanh_c) + dc_next[k];
+      const float dfk = dc * c_prev[k];
+      const float dik = dc * g[k];
+      const float dgk = dc * i[k];
+      dc_next[k] = dc * f[k];
+      di_pre[k] = dik * i[k] * (1.0f - i[k]);
+      df_pre[k] = dfk * f[k] * (1.0f - f[k]);
+      do_pre[k] = dok * o[k] * (1.0f - o[k]);
+      dg_pre[k] = dgk * (1.0f - g[k] * g[k]);
+    }
+
+    struct GateGrad {
+      Parameter* w;
+      Parameter* u;
+      Parameter* b;
+      const util::Vector* d_pre;
+    };
+    const GateGrad gates[] = {{&wi_, &ui_, &bi_, &di_pre},
+                              {&wf_, &uf_, &bf_, &df_pre},
+                              {&wo_, &uo_, &bo_, &do_pre},
+                              {&wg_, &ug_, &bg_, &dg_pre}};
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    for (const GateGrad& gg : gates) {
+      util::OuterAdd(*gg.d_pre, xt, 1.0f, &gg.w->grad);
+      util::OuterAdd(*gg.d_pre, h_prev, 1.0f, &gg.u->grad);
+      for (int k = 0; k < h_dim; ++k) gg.b->grad(0, k) += (*gg.d_pre)[k];
+      util::MatVecTrans(gg.u->value, *gg.d_pre, &tmp);
+      for (int k = 0; k < h_dim; ++k) dh_next[k] += tmp[k];
+      if (grad_x != nullptr) {
+        util::MatVecTrans(gg.w->value, *gg.d_pre, &tmp);
+        float* gx = grad_x->Row(t);
+        for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
+      }
+    }
+  }
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,38 @@
+#include "nn/maxpool.h"
+
+#include <cassert>
+
+namespace lncl::nn {
+
+void MaxOverTimeForward(const util::Matrix& x, util::Vector* out,
+                        std::vector<int>* argmax) {
+  const int t = x.rows();
+  const int f = x.cols();
+  assert(t > 0);
+  out->assign(f, 0.0f);
+  argmax->assign(f, 0);
+  for (int c = 0; c < f; ++c) {
+    float best = x(0, c);
+    int best_r = 0;
+    for (int r = 1; r < t; ++r) {
+      if (x(r, c) > best) {
+        best = x(r, c);
+        best_r = r;
+      }
+    }
+    (*out)[c] = best;
+    (*argmax)[c] = best_r;
+  }
+}
+
+void MaxOverTimeBackward(const std::vector<int>& argmax,
+                         const util::Vector& grad_out, int rows,
+                         util::Matrix* grad_x) {
+  assert(argmax.size() == grad_out.size());
+  grad_x->Resize(rows, static_cast<int>(grad_out.size()));
+  for (size_t c = 0; c < grad_out.size(); ++c) {
+    (*grad_x)(argmax[c], static_cast<int>(c)) = grad_out[c];
+  }
+}
+
+}  // namespace lncl::nn

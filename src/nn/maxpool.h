@@ -1,0 +1,24 @@
+#ifndef LNCL_NN_MAXPOOL_H_
+#define LNCL_NN_MAXPOOL_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace lncl::nn {
+
+// Max-over-time pooling: collapses a T x F feature map to an F-vector by
+// taking the per-column maximum (Kim 2014). `argmax` records, per column,
+// the winning row index for the backward pass.
+void MaxOverTimeForward(const util::Matrix& x, util::Vector* out,
+                        std::vector<int>* argmax);
+
+// Routes dL/dout back to the winning rows; grad_x is resized to rows x F and
+// zero elsewhere.
+void MaxOverTimeBackward(const std::vector<int>& argmax,
+                         const util::Vector& grad_out, int rows,
+                         util::Matrix* grad_x);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_MAXPOOL_H_

@@ -1,0 +1,107 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lncl::nn {
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  MaybeClip(params);
+  for (Parameter* p : params) {
+    ApplyL2(p);
+    if (momentum_ > 0.0) {
+      util::Matrix& v = velocity_[p];
+      if (v.rows() != p->value.rows() || v.cols() != p->value.cols()) {
+        v.Resize(p->value.rows(), p->value.cols());
+      }
+      v.Scale(static_cast<float>(momentum_));
+      v.AddScaled(p->grad, 1.0f);
+      p->value.AddScaled(v, static_cast<float>(-lr_));
+    } else {
+      p->value.AddScaled(p->grad, static_cast<float>(-lr_));
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  MaybeClip(params);
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (Parameter* p : params) {
+    ApplyL2(p);
+    State& s = state_[p];
+    if (s.m.rows() != p->value.rows() || s.m.cols() != p->value.cols()) {
+      s.m.Resize(p->value.rows(), p->value.cols());
+      s.v.Resize(p->value.rows(), p->value.cols());
+    }
+    float* m = s.m.data();
+    float* v = s.v.data();
+    float* val = p->value.data();
+    const float* g = p->grad.data();
+    const float b1 = static_cast<float>(beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adadelta::Step(const std::vector<Parameter*>& params) {
+  MaybeClip(params);
+  for (Parameter* p : params) {
+    ApplyL2(p);
+    State& s = state_[p];
+    if (s.avg_sq_grad.rows() != p->value.rows() ||
+        s.avg_sq_grad.cols() != p->value.cols()) {
+      s.avg_sq_grad.Resize(p->value.rows(), p->value.cols());
+      s.avg_sq_update.Resize(p->value.rows(), p->value.cols());
+    }
+    float* eg = s.avg_sq_grad.data();
+    float* eu = s.avg_sq_update.data();
+    float* val = p->value.data();
+    const float* g = p->grad.data();
+    const float rho = static_cast<float>(rho_);
+    const float eps = static_cast<float>(eps_);
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      eg[i] = rho * eg[i] + (1.0f - rho) * g[i] * g[i];
+      const float update =
+          std::sqrt((eu[i] + eps) / (eg[i] + eps)) * g[i];
+      eu[i] = rho * eu[i] + (1.0f - rho) * update * update;
+      val[i] -= static_cast<float>(lr_) * update;
+    }
+    p->ZeroGrad();
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config) {
+  std::unique_ptr<Optimizer> opt;
+  if (config.kind == "sgd") {
+    opt = std::make_unique<Sgd>(config.lr, config.momentum, config.l2);
+  } else if (config.kind == "adadelta") {
+    opt = std::make_unique<Adadelta>(config.lr, 0.95, 1e-6, config.l2);
+  } else {
+    if (config.kind != "adam") {
+      LNCL_LOG(Warning) << "unknown optimizer kind '" << config.kind
+                        << "', falling back to adam";
+    }
+    opt = std::make_unique<Adam>(config.lr, 0.9, 0.999, 1e-8, config.l2);
+  }
+  opt->set_clip_norm(config.clip_norm);
+  return opt;
+}
+
+void ApplyLrSchedule(const OptimizerConfig& config, int epoch, Optimizer* opt) {
+  if (config.lr_decay_every <= 0 || config.lr_decay == 1.0) return;
+  const int steps = epoch / config.lr_decay_every;
+  opt->set_lr(config.lr * std::pow(config.lr_decay, steps));
+}
+
+}  // namespace lncl::nn

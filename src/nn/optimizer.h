@@ -1,0 +1,131 @@
+#ifndef LNCL_NN_OPTIMIZER_H_
+#define LNCL_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/matrix.h"
+
+namespace lncl::nn {
+
+// Base class for first-order optimizers.
+//
+// Step() consumes each parameter's accumulated gradient, applies the update,
+// and zeroes the gradient. Per-parameter state (momentum buffers, moment
+// estimates) is keyed by the Parameter's address, so parameters must be
+// address-stable across steps. The learning rate is mutable to support the
+// paper's sentiment schedule ("decay by half every 5 epochs").
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+  virtual std::string name() const = 0;
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+  // Global gradient-norm clipping applied at the start of every Step
+  // (0 = off).
+  void set_clip_norm(double clip_norm) { clip_norm_ = clip_norm; }
+  double clip_norm() const { return clip_norm_; }
+
+ protected:
+  explicit Optimizer(double lr, double l2) : lr_(lr), l2_(l2) {}
+
+  // Adds the L2 penalty gradient in place, if configured.
+  void ApplyL2(Parameter* p) {
+    if (l2_ > 0.0) p->grad.AddScaled(p->value, static_cast<float>(l2_));
+  }
+
+  // Clips the joint gradient norm, if configured. Subclasses call this once
+  // at the top of Step.
+  void MaybeClip(const std::vector<Parameter*>& params) {
+    if (clip_norm_ > 0.0) ClipGradNorm(params, clip_norm_);
+  }
+
+  double lr_;
+  double l2_;        // L2 regularization strength (0 = off)
+  double clip_norm_ = 0.0;
+};
+
+// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double l2 = 0.0)
+      : Optimizer(lr, l2), momentum_(momentum) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  std::unordered_map<Parameter*, util::Matrix> velocity_;
+};
+
+// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 0.001, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double l2 = 0.0)
+      : Optimizer(lr, l2), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  struct State {
+    util::Matrix m;
+    util::Matrix v;
+  };
+  double beta1_, beta2_, eps_;
+  long step_ = 0;
+  std::unordered_map<Parameter*, State> state_;
+};
+
+// Adadelta (Zeiler, 2012). `lr` acts as a global scale (1.0 in the paper's
+// sentiment configuration).
+class Adadelta : public Optimizer {
+ public:
+  explicit Adadelta(double lr = 1.0, double rho = 0.95, double eps = 1e-6,
+                    double l2 = 0.0)
+      : Optimizer(lr, l2), rho_(rho), eps_(eps) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+  std::string name() const override { return "adadelta"; }
+
+ private:
+  struct State {
+    util::Matrix avg_sq_grad;
+    util::Matrix avg_sq_update;
+  };
+  double rho_, eps_;
+  std::unordered_map<Parameter*, State> state_;
+};
+
+// Configuration blob for building optimizers from bench/table settings.
+struct OptimizerConfig {
+  std::string kind = "adam";  // "sgd" | "adam" | "adadelta"
+  double lr = 0.001;
+  double momentum = 0.0;
+  double l2 = 0.0;
+  // Multiply lr by `lr_decay` every `lr_decay_every` epochs (0 = off). Used
+  // for the paper's sentiment setting (halve every 5 epochs).
+  double lr_decay = 1.0;
+  int lr_decay_every = 0;
+  // Global gradient-norm clip applied each step (0 = off).
+  double clip_norm = 0.0;
+};
+
+std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config);
+
+// Applies the epoch-indexed learning-rate schedule from `config` (epoch is
+// 0-based; decay applies starting at epoch lr_decay_every).
+void ApplyLrSchedule(const OptimizerConfig& config, int epoch, Optimizer* opt);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_OPTIMIZER_H_

@@ -1,0 +1,53 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace lncl::nn {
+
+void GlorotInit(util::Rng* rng, util::Matrix* m, int fan_in, int fan_out) {
+  if (fan_in < 0) fan_in = m->cols();
+  if (fan_out < 0) fan_out = m->rows();
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  UniformInit(rng, a, m);
+}
+
+void UniformInit(util::Rng* rng, double scale, util::Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    for (int c = 0; c < m->cols(); ++c) {
+      row[c] = static_cast<float>(rng->Uniform(-scale, scale));
+    }
+  }
+}
+
+void GaussianInit(util::Rng* rng, double stddev, util::Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    for (int c = 0; c < m->cols(); ++c) {
+      row[c] = static_cast<float>(rng->Gaussian(0.0, stddev));
+    }
+  }
+}
+
+void ZeroGrads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->ZeroGrad();
+}
+
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  double total = 0.0;
+  for (const Parameter* p : params) total += p->grad.SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (max_norm > 0.0 && norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) p->grad.Scale(scale);
+  }
+  return norm;
+}
+
+size_t CountWeights(const std::vector<Parameter*>& params) {
+  size_t n = 0;
+  for (const Parameter* p : params) n += p->value.size();
+  return n;
+}
+
+}  // namespace lncl::nn

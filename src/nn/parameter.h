@@ -1,0 +1,56 @@
+#ifndef LNCL_NN_PARAMETER_H_
+#define LNCL_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace lncl::nn {
+
+// A trainable tensor with its gradient accumulator.
+//
+// Layers own their parameters and expose raw pointers through `Params()`
+// vectors; optimizers hold per-parameter state keyed by those pointers, so a
+// Parameter must live at a stable address for the lifetime of training
+// (layers therefore store Parameters by value and are not copyable).
+struct Parameter {
+  Parameter(std::string name, int rows, int cols)
+      : name(std::move(name)), value(rows, cols), grad(rows, cols) {}
+
+  Parameter(const Parameter&) = delete;
+  Parameter& operator=(const Parameter&) = delete;
+
+  void ZeroGrad() { grad.Zero(); }
+
+  std::string name;
+  util::Matrix value;
+  util::Matrix grad;
+};
+
+// Glorot/Xavier uniform initialization: U(-a, a) with
+// a = sqrt(6 / (fan_in + fan_out)). Fans default to the matrix dimensions.
+void GlorotInit(util::Rng* rng, util::Matrix* m, int fan_in = -1,
+                int fan_out = -1);
+
+// Uniform initialization in [-scale, scale].
+void UniformInit(util::Rng* rng, double scale, util::Matrix* m);
+
+// Gaussian initialization N(0, stddev^2).
+void GaussianInit(util::Rng* rng, double stddev, util::Matrix* m);
+
+// Zeroes the gradients of every parameter.
+void ZeroGrads(const std::vector<Parameter*>& params);
+
+// Rescales all gradients jointly so their global L2 norm is at most
+// `max_norm` (no-op when already smaller or max_norm <= 0). Returns the
+// pre-clip norm. The standard guard against exploding recurrent gradients.
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
+// Total number of scalar weights across parameters.
+size_t CountWeights(const std::vector<Parameter*>& params);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_PARAMETER_H_

@@ -1,0 +1,110 @@
+#include "nn/softmax.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lncl::nn {
+
+namespace {
+constexpr double kLogFloor = 1e-12;
+
+void SoftmaxInPlace(const float* z, float* p, int n) {
+  float mx = z[0];
+  for (int i = 1; i < n; ++i) mx = std::max(mx, z[i]);
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    p[i] = std::exp(z[i] - mx);
+    sum += p[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int i = 0; i < n; ++i) p[i] *= inv;
+}
+}  // namespace
+
+void Softmax(const util::Vector& logits, util::Vector* probs) {
+  probs->resize(logits.size());
+  SoftmaxInPlace(logits.data(), probs->data(), static_cast<int>(logits.size()));
+}
+
+void SoftmaxRows(const util::Matrix& logits, util::Matrix* probs) {
+  probs->Resize(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    SoftmaxInPlace(logits.Row(r), probs->Row(r), logits.cols());
+  }
+}
+
+double CrossEntropy(const util::Vector& q, const util::Vector& p) {
+  assert(q.size() == p.size());
+  double loss = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q[i] > 0.0f) {
+      loss -= q[i] * std::log(std::max(static_cast<double>(p[i]), kLogFloor));
+    }
+  }
+  return loss;
+}
+
+double CrossEntropyRows(const util::Matrix& q, const util::Matrix& p) {
+  assert(q.rows() == p.rows() && q.cols() == p.cols());
+  double loss = 0.0;
+  for (int r = 0; r < q.rows(); ++r) {
+    const float* qr = q.Row(r);
+    const float* pr = p.Row(r);
+    for (int c = 0; c < q.cols(); ++c) {
+      if (qr[c] > 0.0f) {
+        loss -=
+            qr[c] * std::log(std::max(static_cast<double>(pr[c]), kLogFloor));
+      }
+    }
+  }
+  return loss;
+}
+
+void SoftmaxCrossEntropyGrad(const util::Vector& q, const util::Vector& p,
+                             float w, util::Vector* grad) {
+  assert(q.size() == p.size());
+  grad->resize(p.size());
+  for (size_t i = 0; i < p.size(); ++i) (*grad)[i] = w * (p[i] - q[i]);
+}
+
+void SoftmaxCrossEntropyGradRows(const util::Matrix& q, const util::Matrix& p,
+                                 float w, util::Matrix* grad) {
+  assert(q.rows() == p.rows() && q.cols() == p.cols());
+  grad->Resize(p.rows(), p.cols());
+  for (int r = 0; r < p.rows(); ++r) {
+    const float* qr = q.Row(r);
+    const float* pr = p.Row(r);
+    float* gr = grad->Row(r);
+    for (int c = 0; c < p.cols(); ++c) gr[c] = w * (pr[c] - qr[c]);
+  }
+}
+
+void SoftmaxJacobianVecProduct(const util::Vector& p,
+                               const util::Vector& grad_p, float w,
+                               util::Vector* grad_z) {
+  assert(p.size() == grad_p.size());
+  grad_z->resize(p.size());
+  float dot = 0.0f;
+  for (size_t i = 0; i < p.size(); ++i) dot += p[i] * grad_p[i];
+  for (size_t i = 0; i < p.size(); ++i) {
+    (*grad_z)[i] = w * p[i] * (grad_p[i] - dot);
+  }
+}
+
+void SoftmaxJacobianVecProductRows(const util::Matrix& p,
+                                   const util::Matrix& grad_p, float w,
+                                   util::Matrix* grad_z) {
+  assert(p.rows() == grad_p.rows() && p.cols() == grad_p.cols());
+  grad_z->Resize(p.rows(), p.cols());
+  for (int r = 0; r < p.rows(); ++r) {
+    const float* pr = p.Row(r);
+    const float* gr = grad_p.Row(r);
+    float* oz = grad_z->Row(r);
+    float dot = 0.0f;
+    for (int c = 0; c < p.cols(); ++c) dot += pr[c] * gr[c];
+    for (int c = 0; c < p.cols(); ++c) oz[c] = w * pr[c] * (gr[c] - dot);
+  }
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,38 @@
+#ifndef LNCL_NN_SOFTMAX_H_
+#define LNCL_NN_SOFTMAX_H_
+
+#include "util/matrix.h"
+
+namespace lncl::nn {
+
+// Numerically stable softmax of a logit vector.
+void Softmax(const util::Vector& logits, util::Vector* probs);
+
+// Row-wise softmax (each row an independent distribution).
+void SoftmaxRows(const util::Matrix& logits, util::Matrix* probs);
+
+// Soft-target cross entropy: -sum_k q[k] * log(p[k]), clamped at p >= 1e-12.
+double CrossEntropy(const util::Vector& q, const util::Vector& p);
+// Sum of row-wise cross entropies.
+double CrossEntropyRows(const util::Matrix& q, const util::Matrix& p);
+
+// Gradient of w * CrossEntropy(q, softmax(z)) with respect to logits z:
+// w * (p - q). Written into grad (resized to match).
+void SoftmaxCrossEntropyGrad(const util::Vector& q, const util::Vector& p,
+                             float w, util::Vector* grad);
+void SoftmaxCrossEntropyGradRows(const util::Matrix& q, const util::Matrix& p,
+                                 float w, util::Matrix* grad);
+
+// Converts dL/dprobs into dL/dlogits through the softmax Jacobian:
+// dz = p .* (dp - <p, dp>). Used by the crowd-layer baselines, which define
+// their loss on the bottleneck probabilities rather than a soft target.
+void SoftmaxJacobianVecProduct(const util::Vector& p,
+                               const util::Vector& grad_p, float w,
+                               util::Vector* grad_z);
+void SoftmaxJacobianVecProductRows(const util::Matrix& p,
+                                   const util::Matrix& grad_p, float w,
+                                   util::Matrix* grad_z);
+
+}  // namespace lncl::nn
+
+#endif  // LNCL_NN_SOFTMAX_H_

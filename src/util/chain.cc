@@ -1,0 +1,129 @@
+#include "util/chain.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace lncl::util {
+
+
+void ChainForwardBackward(const Vector& prior,
+                          const Matrix& transition,
+                          const Matrix& emission, Matrix* gamma,
+                          Matrix* xi_sum) {
+  const int t_len = emission.rows();
+  const int k = emission.cols();
+  assert(static_cast<int>(prior.size()) == k);
+  assert(transition.rows() == k && transition.cols() == k);
+  gamma->Resize(t_len, k);
+  if (t_len == 0) return;
+
+  auto normalize = [k](std::vector<double>* v) {
+    double sum = 0.0;
+    for (double x : *v) sum += x;
+    if (sum <= 1e-300) {
+      for (double& x : *v) x = 1.0 / k;
+    } else {
+      for (double& x : *v) x /= sum;
+    }
+  };
+
+  std::vector<std::vector<double>> alpha(t_len, std::vector<double>(k));
+  std::vector<std::vector<double>> beta(t_len, std::vector<double>(k, 1.0));
+  for (int m = 0; m < k; ++m) alpha[0][m] = prior[m] * emission(0, m);
+  normalize(&alpha[0]);
+  for (int t = 1; t < t_len; ++t) {
+    for (int b = 0; b < k; ++b) {
+      double s = 0.0;
+      for (int a = 0; a < k; ++a) s += alpha[t - 1][a] * transition(a, b);
+      alpha[t][b] = s * emission(t, b);
+    }
+    normalize(&alpha[t]);
+  }
+  for (int t = t_len - 2; t >= 0; --t) {
+    for (int a = 0; a < k; ++a) {
+      double s = 0.0;
+      for (int b = 0; b < k; ++b) {
+        s += transition(a, b) * emission(t + 1, b) * beta[t + 1][b];
+      }
+      beta[t][a] = s;
+    }
+    normalize(&beta[t]);
+  }
+
+  for (int t = 0; t < t_len; ++t) {
+    std::vector<double> g(k);
+    for (int m = 0; m < k; ++m) g[m] = alpha[t][m] * beta[t][m];
+    normalize(&g);
+    for (int m = 0; m < k; ++m) {
+      (*gamma)(t, m) = static_cast<float>(g[m]);
+    }
+  }
+
+  if (xi_sum != nullptr) {
+    assert(xi_sum->rows() == k && xi_sum->cols() == k);
+    for (int t = 0; t + 1 < t_len; ++t) {
+      double total = 0.0;
+      std::vector<double> xi(static_cast<size_t>(k) * k);
+      for (int a = 0; a < k; ++a) {
+        for (int b = 0; b < k; ++b) {
+          const double v = alpha[t][a] * transition(a, b) *
+                           emission(t + 1, b) * beta[t + 1][b];
+          xi[static_cast<size_t>(a) * k + b] = v;
+          total += v;
+        }
+      }
+      if (total <= 1e-300) continue;
+      for (int a = 0; a < k; ++a) {
+        for (int b = 0; b < k; ++b) {
+          (*xi_sum)(a, b) += static_cast<float>(
+              xi[static_cast<size_t>(a) * k + b] / total);
+        }
+      }
+    }
+  }
+}
+
+
+void ChainViterbi(const Vector& prior, const Matrix& transition,
+                  const Matrix& emission, std::vector<int>* path) {
+  const int t_len = emission.rows();
+  const int k = emission.cols();
+  path->assign(t_len, 0);
+  if (t_len == 0) return;
+  auto safe_log = [](double v) { return std::log(std::max(v, 1e-300)); };
+  std::vector<std::vector<double>> delta(t_len, std::vector<double>(k));
+  std::vector<std::vector<int>> back(t_len, std::vector<int>(k, 0));
+  for (int m = 0; m < k; ++m) {
+    delta[0][m] = safe_log(prior[m]) + safe_log(emission(0, m));
+  }
+  for (int t = 1; t < t_len; ++t) {
+    for (int b = 0; b < k; ++b) {
+      double best = -1e300;
+      int arg = 0;
+      for (int a = 0; a < k; ++a) {
+        const double v = delta[t - 1][a] + safe_log(transition(a, b));
+        if (v > best) {
+          best = v;
+          arg = a;
+        }
+      }
+      delta[t][b] = best + safe_log(emission(t, b));
+      back[t][b] = arg;
+    }
+  }
+  int cur = 0;
+  double best = -1e300;
+  for (int m = 0; m < k; ++m) {
+    if (delta[t_len - 1][m] > best) {
+      best = delta[t_len - 1][m];
+      cur = m;
+    }
+  }
+  for (int t = t_len - 1; t >= 0; --t) {
+    (*path)[t] = cur;
+    cur = back[t][cur];
+  }
+}
+
+}  // namespace lncl::util

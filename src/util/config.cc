@@ -1,0 +1,85 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace lncl::util {
+
+Config::Config(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+bool Config::Lookup(const std::string& key, std::string* value) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    *value = it->second;
+    return true;
+  }
+  std::string env_key = "LNCL_";
+  for (char c : key) {
+    env_key += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (const char* env = std::getenv(env_key.c_str())) {
+    *value = env;
+    return true;
+  }
+  return false;
+}
+
+bool Config::Has(const std::string& key) const {
+  std::string unused;
+  return Lookup(key, &unused);
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& default_value) const {
+  std::string v;
+  return Lookup(key, &v) ? v : default_value;
+}
+
+int Config::GetInt(const std::string& key, int default_value) const {
+  std::string v;
+  if (!Lookup(key, &v)) return default_value;
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+double Config::GetDouble(const std::string& key, double default_value) const {
+  std::string v;
+  if (!Lookup(key, &v)) return default_value;
+  try {
+    return std::stod(v);
+  } catch (...) {
+    return default_value;
+  }
+}
+
+bool Config::GetBool(const std::string& key, bool default_value) const {
+  std::string v;
+  if (!Lookup(key, &v)) return default_value;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace lncl::util

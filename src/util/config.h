@@ -1,0 +1,46 @@
+#ifndef LNCL_UTIL_CONFIG_H_
+#define LNCL_UTIL_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lncl::util {
+
+// Tiny command-line / environment configuration reader for the benchmark
+// harness and examples.
+//
+// Accepted argv forms: `--key=value`, `--key value`, and bare `--flag`
+// (treated as "1"). An environment variable `LNCL_<KEY>` (upper-cased key)
+// provides a fallback, so e.g. `LNCL_FULL=1` switches benches to paper-scale
+// sweeps without editing scripts.
+class Config {
+ public:
+  Config() = default;
+  Config(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& key, int default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  void Set(const std::string& key, const std::string& value);
+
+  // All unparsed positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  // Returns the raw value for key, checking argv first and the LNCL_<KEY>
+  // environment variable second; empty optional-ish "" + found flag.
+  bool Lookup(const std::string& key, std::string* value) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lncl::util
+
+#endif  // LNCL_UTIL_CONFIG_H_

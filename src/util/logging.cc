@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lncl::util {
+
+std::mutex Logger::mu_;
+LogLevel Logger::threshold_ = LogLevel::kInfo;
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+Logger::Logger(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+Logger::~Logger() {
+  if (level_ < threshold_) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+void Logger::SetLogLevel(LogLevel level) {
+  std::unique_lock<std::mutex> lock(mu_);
+  threshold_ = level;
+}
+
+LogLevel Logger::GetLogLevel() { return threshold_; }
+
+void SetLogLevel(LogLevel level) { Logger::SetLogLevel(level); }
+
+}  // namespace lncl::util

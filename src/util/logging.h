@@ -1,0 +1,56 @@
+#ifndef LNCL_UTIL_LOGGING_H_
+#define LNCL_UTIL_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace lncl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimal thread-safe leveled logger writing to stderr.
+//
+// Usage: LNCL_LOG(INFO) << "epoch " << e << " loss " << loss;
+// The global threshold defaults to kInfo and can be raised by benches to
+// silence per-epoch chatter (SetLogLevel(LogLevel::kWarning)).
+class Logger {
+ public:
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  static void SetLogLevel(LogLevel level);
+  static LogLevel GetLogLevel();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+  static std::mutex mu_;
+  static LogLevel threshold_;
+};
+
+void SetLogLevel(LogLevel level);
+
+}  // namespace lncl::util
+
+#define LNCL_LOG(severity)                                           \
+  ::lncl::util::Logger(::lncl::util::LogLevel::k##severity, __FILE__, \
+                       __LINE__)
+
+// Always-on invariant check (also in release builds). Aborts with a message
+// identifying the failing expression and location.
+#define LNCL_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      LNCL_LOG(Error) << "CHECK failed: " #cond;                           \
+      ::abort();                                                           \
+    }                                                                      \
+  } while (0)
+
+#endif  // LNCL_UTIL_LOGGING_H_

@@ -1,0 +1,115 @@
+#include "util/matrix.h"
+
+#include <algorithm>
+
+namespace lncl::util {
+
+void Matrix::AddScaled(const Matrix& other, float alpha) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  const float* src = other.data_.data();
+  float* dst = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+}
+
+void Matrix::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  out->Resize(a.rows(), b.cols());
+  const int n = b.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    float* out_row = out->Row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const float* b_row = b.Row(k);
+      for (int j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  out->Resize(a.cols(), b.cols());
+  const int n = b.cols();
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* a_row = a.Row(k);
+    const float* b_row = b.Row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float aki = a_row[i];
+      if (aki == 0.0f) continue;
+      float* out_row = out->Row(i);
+      for (int j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.cols());
+  out->Resize(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.Row(j);
+      float s = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+}
+
+void MatVec(const Matrix& w, const Vector& x, Vector* y) {
+  assert(static_cast<int>(x.size()) == w.cols());
+  y->assign(w.rows(), 0.0f);
+  for (int i = 0; i < w.rows(); ++i) {
+    const float* row = w.Row(i);
+    float s = 0.0f;
+    for (int j = 0; j < w.cols(); ++j) s += row[j] * x[j];
+    (*y)[i] = s;
+  }
+}
+
+void MatVecTrans(const Matrix& w, const Vector& x, Vector* y) {
+  assert(static_cast<int>(x.size()) == w.rows());
+  y->assign(w.cols(), 0.0f);
+  for (int i = 0; i < w.rows(); ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* row = w.Row(i);
+    for (int j = 0; j < w.cols(); ++j) (*y)[j] += xi * row[j];
+  }
+}
+
+void OuterAdd(const Vector& x, const Vector& y, float alpha, Matrix* w) {
+  assert(w->rows() == static_cast<int>(x.size()));
+  assert(w->cols() == static_cast<int>(y.size()));
+  for (int i = 0; i < w->rows(); ++i) {
+    const float xi = alpha * x[i];
+    if (xi == 0.0f) continue;
+    float* row = w->Row(i);
+    for (int j = 0; j < w->cols(); ++j) row[j] += xi * y[j];
+  }
+}
+
+void AddScaled(const Vector& x, float alpha, Vector* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+float Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace lncl::util

@@ -1,0 +1,98 @@
+#ifndef LNCL_UTIL_MATRIX_H_
+#define LNCL_UTIL_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lncl::util {
+
+// Dense row-major matrix of floats.
+//
+// This is the numeric workhorse of the neural-network substrate. It is a
+// plain value type (copyable, movable) with bounds-checked access in debug
+// builds. Heavy kernels (matrix products) live as free functions below so
+// call sites read like math.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  // Resizes to rows x cols, zero-filling. Existing contents are discarded.
+  void Resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  }
+
+  // this += alpha * other (same shape).
+  void AddScaled(const Matrix& other, float alpha);
+
+  // this *= alpha.
+  void Scale(float alpha);
+
+  // Sum of squared entries.
+  double SquaredNorm() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+// Dense float vector with the same conventions as Matrix.
+using Vector = std::vector<float>;
+
+// out = a (rows_a x k) * b (k x cols_b). out is resized.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out = a^T * b, where a is (k x rows_out) and b is (k x cols_out).
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out = a * b^T, where a is (rows_out x k) and b is (cols_out x k).
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out);
+
+// y = W (m x n) * x (n) ; y is resized to m.
+void MatVec(const Matrix& w, const Vector& x, Vector* y);
+
+// y = W^T (m x n) * x (m) ; y is resized to n.
+void MatVecTrans(const Matrix& w, const Vector& x, Vector* y);
+
+// W += alpha * x (m) * y^T (n); W must be m x n.
+void OuterAdd(const Vector& x, const Vector& y, float alpha, Matrix* w);
+
+// Elementwise vector helpers.
+void AddScaled(const Vector& x, float alpha, Vector* y);  // y += alpha*x
+float Dot(const Vector& a, const Vector& b);
+
+}  // namespace lncl::util
+
+#endif  // LNCL_UTIL_MATRIX_H_

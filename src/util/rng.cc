@@ -1,0 +1,41 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace lncl::util {
+
+double Rng::Beta(double a, double b) {
+  std::gamma_distribution<double> ga(a, 1.0);
+  std::gamma_distribution<double> gb(b, 1.0);
+  const double x = ga(engine_);
+  const double y = gb(engine_);
+  const double sum = x + y;
+  if (sum <= 0.0) return 0.5;
+  return x / sum;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return static_cast<int>(weights.size()) - 1;
+  double u = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  // Numerical slack: fall back to the last index with positive weight.
+  for (int i = static_cast<int>(weights.size()) - 1; i >= 0; --i) {
+    if (weights[i] > 0.0) return i;
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(&all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace lncl::util

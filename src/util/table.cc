@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace lncl::util {
+
+void Table::Print(std::ostream& os) const {
+  // Column widths over header and all rows.
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+  std::vector<size_t> widths(num_cols, 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  auto print_rule = [&os, total] { os << std::string(total, '-') << "\n"; };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(widths[c] - cell.size() + 3, ' ');
+    }
+    os << "\n";
+  };
+
+  os << "== " << title_ << " ==\n";
+  print_rule();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), static_cast<int>(r)) !=
+        separators_.end()) {
+      print_rule();
+    }
+    print_row(rows_[r]);
+  }
+  print_rule();
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+std::string FormatFixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatMeanStd(double mean, double stddev) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.2f ±%.2f", mean, stddev);
+  return buf;
+}
+
+}  // namespace lncl::util

@@ -1,0 +1,51 @@
+#ifndef LNCL_UTIL_TABLE_H_
+#define LNCL_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lncl::util {
+
+// Aligned text-table writer used by the bench harness to print the paper's
+// tables (Tables II-IV) in the same row/column layout. Also exports CSV so
+// results can be diffed or plotted downstream.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  // Appends a row of preformatted cells. Rows may be ragged; missing cells
+  // print as empty.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Appends a visual separator between row groups (e.g. paradigms).
+  void AddSeparator() { separators_.push_back(static_cast<int>(rows_.size())); }
+
+  // Renders the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  // Writes the table as CSV (header + rows, comma-separated, quoted as
+  // needed) to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<int> separators_;
+};
+
+// Formats a double with `digits` decimal places.
+std::string FormatFixed(double value, int digits = 2);
+
+// Formats "mean ± std" with two decimals.
+std::string FormatMeanStd(double mean, double stddev);
+
+}  // namespace lncl::util
+
+#endif  // LNCL_UTIL_TABLE_H_

@@ -1,0 +1,72 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+
+namespace lncl::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    jobs_.push(std::move(job));
+    ++in_flight_;
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int n, int num_threads,
+                             const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  ThreadPool pool(std::min(n, num_threads <= 0 ? n : num_threads));
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace lncl::util

@@ -1,0 +1,51 @@
+#ifndef LNCL_UTIL_THREADPOOL_H_
+#define LNCL_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lncl::util {
+
+// Fixed-size worker pool used by the benchmark harness to run independent
+// (method, seed) experiments concurrently. Each submitted job owns all of its
+// state (models, RNGs), so jobs never share mutable data.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>=1; defaults to hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job. Safe to call from any thread until Wait()/destruction.
+  void Submit(std::function<void()> job);
+
+  // Blocks until every submitted job has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  static void ParallelFor(int n, int num_threads,
+                          const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lncl::util
+
+#endif  // LNCL_UTIL_THREADPOOL_H_

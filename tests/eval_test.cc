@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/bio.h"
+#include "eval/metrics.h"
+#include "eval/reliability.h"
+#include "models/logreg.h"
+#include "util/matrix.h"
+
+namespace lncl::eval {
+namespace {
+
+using data::kBLoc;
+using data::kBOrg;
+using data::kBPer;
+using data::kILoc;
+using data::kIOrg;
+using data::kIPer;
+using data::kO;
+
+data::Dataset MakeSequenceDataset(
+    const std::vector<std::vector<int>>& gold_tags) {
+  data::Dataset d;
+  d.num_classes = data::kNumBioLabels;
+  d.sequence = true;
+  for (const auto& tags : gold_tags) {
+    data::Instance x;
+    x.tokens.assign(tags.size(), 1);
+    x.tag_labels = tags;
+    d.instances.push_back(x);
+  }
+  return d;
+}
+
+// ----------------------------------------------------------------- Argmax --
+
+TEST(ArgmaxRowsTest, PicksRowWinners) {
+  util::Matrix m(2, 3);
+  m(0, 1) = 0.9f;
+  m(1, 2) = 0.4f;
+  m(1, 0) = 0.3f;
+  const std::vector<int> winners = ArgmaxRows(m);
+  EXPECT_EQ(winners[0], 1);
+  EXPECT_EQ(winners[1], 2);
+}
+
+// --------------------------------------------------------------- Accuracy --
+
+TEST(AccuracyTest, ClassificationCountsArgmaxMatches) {
+  data::Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < 4; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = i % 2;
+    d.instances.push_back(x);
+  }
+  // Predictor always says class 1 => accuracy 0.5 on balanced labels.
+  const Predictor always_one = [](const data::Instance&) {
+    util::Matrix p(1, 2);
+    p(0, 1) = 1.0f;
+    return p;
+  };
+  EXPECT_DOUBLE_EQ(Accuracy(always_one, d), 0.5);
+}
+
+TEST(AccuracyTest, PosteriorAccuracyTokenLevel) {
+  data::Dataset d = MakeSequenceDataset({{kO, kBPer, kIPer}});
+  std::vector<util::Matrix> posteriors;
+  util::Matrix q(3, data::kNumBioLabels);
+  q(0, kO) = 1.0f;
+  q(1, kBPer) = 1.0f;
+  q(2, kO) = 1.0f;  // one wrong token
+  posteriors.push_back(q);
+  EXPECT_NEAR(PosteriorAccuracy(posteriors, d), 2.0 / 3.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- SpanF1 --
+
+TEST(SpanF1Test, PerfectPrediction) {
+  data::Dataset d = MakeSequenceDataset({{kO, kBPer, kIPer, kO, kBOrg}});
+  const PrF1 r = SpanF1({{kO, kBPer, kIPer, kO, kBOrg}}, d);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(SpanF1Test, StrictCriteriaRejectsBoundaryMismatch) {
+  // Prediction covers [1, 2) instead of [1, 3): no credit under strict.
+  data::Dataset d = MakeSequenceDataset({{kO, kBPer, kIPer, kO}});
+  const PrF1 r = SpanF1({{kO, kBPer, kO, kO}}, d);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(SpanF1Test, StrictCriteriaRejectsTypeMismatch) {
+  data::Dataset d = MakeSequenceDataset({{kO, kBPer, kIPer, kO}});
+  const PrF1 r = SpanF1({{kO, kBOrg, kIOrg, kO}}, d);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(SpanF1Test, PrecisionRecallAsymmetry) {
+  // Gold: two entities. Prediction: one exactly right, one spurious, one
+  // missed -> P = 1/2, R = 1/2.
+  data::Dataset d =
+      MakeSequenceDataset({{kBPer, kO, kBOrg, kO, kO, kO}});
+  const PrF1 r = SpanF1({{kBPer, kO, kO, kO, kBLoc, kO}}, d);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+  EXPECT_DOUBLE_EQ(r.f1, 0.5);
+}
+
+TEST(SpanF1Test, NoEntitiesAnywhere) {
+  data::Dataset d = MakeSequenceDataset({{kO, kO, kO}});
+  const PrF1 r = SpanF1({{kO, kO, kO}}, d);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);  // nothing predicted
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(SpanF1Test, MultiInstanceAggregation) {
+  data::Dataset d = MakeSequenceDataset(
+      {{kBPer, kO}, {kO, kBOrg}, {kBLoc, kILoc}});
+  // Get 2 of 3 right.
+  const PrF1 r =
+      SpanF1({{kBPer, kO}, {kO, kO}, {kBLoc, kILoc}}, d);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_NEAR(r.recall, 2.0 / 3.0, 1e-9);
+}
+
+TEST(SpanF1Test, F1IsHarmonicMean) {
+  data::Dataset d = MakeSequenceDataset(
+      {{kBPer, kO, kBOrg, kO, kBLoc, kO, kBPer, kO}});
+  // 4 gold; predict 2 of them (correct) -> P = 1, R = 0.5, F1 = 2/3.
+  const PrF1 r = SpanF1({{kBPer, kO, kBOrg, kO, kO, kO, kO, kO}}, d);
+  EXPECT_NEAR(r.f1, 2.0 * 1.0 * 0.5 / 1.5, 1e-9);
+}
+
+TEST(SpanF1Test, DevScoreDispatchesOnTaskKind) {
+  data::Dataset seq = MakeSequenceDataset({{kBPer, kO}});
+  const Predictor perfect = [](const data::Instance& x) {
+    util::Matrix p(static_cast<int>(x.tokens.size()), data::kNumBioLabels);
+    p(0, kBPer) = 1.0f;
+    for (int t = 1; t < p.rows(); ++t) p(t, kO) = 1.0f;
+    return p;
+  };
+  EXPECT_DOUBLE_EQ(DevScore(perfect, seq), 1.0);
+
+  data::Dataset cls;
+  cls.num_classes = 2;
+  data::Instance x;
+  x.tokens = {1};
+  x.label = 0;
+  cls.instances.push_back(x);
+  const Predictor zero = [](const data::Instance&) {
+    util::Matrix p(1, 2);
+    p(0, 0) = 1.0f;
+    return p;
+  };
+  EXPECT_DOUBLE_EQ(DevScore(zero, cls), 1.0);
+}
+
+
+TEST(SpanF1Test, EmptyDataset) {
+  data::Dataset d;
+  d.num_classes = data::kNumBioLabels;
+  d.sequence = true;
+  const PrF1 r = SpanF1(std::vector<std::vector<int>>{}, d);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(SpanF1Test, DanglingInsidePredictionsCountAsSpans) {
+  // Crowd-style invalid BIO in predictions: the conventional decode treats
+  // a dangling I-X as starting a span, which then fails the strict match.
+  data::Dataset d = MakeSequenceDataset({{kO, kBPer, kIPer}});
+  const PrF1 r = SpanF1({{kIPer, kBPer, kIPer}}, d);
+  // Predicted spans: [0,1) PER (dangling) and [1,3) PER; only the second
+  // matches -> P = 1/2, R = 1.
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(AccuracyTest, ModelPredictorWrapsConstModel) {
+  // ModelPredictor must be usable with any Model; verified with a tiny
+  // logistic regression.
+  util::Rng rng(5);
+  auto emb = std::make_shared<data::EmbeddingTable>(5, 2);
+  models::LogisticRegression lr(2, emb, &rng);
+  data::Dataset d;
+  d.num_classes = 2;
+  data::Instance x;
+  x.tokens = {1};
+  x.label = 0;
+  d.instances.push_back(x);
+  const Predictor p = ModelPredictor(lr);
+  const double acc = Accuracy(p, d);
+  EXPECT_TRUE(acc == 0.0 || acc == 1.0);
+}
+
+// ------------------------------------------------------------ Reliability --
+
+TEST(ReliabilityTest, PerfectEstimatesZeroError) {
+  crowd::ConfusionSet est{crowd::ConfusionMatrix(2, 0.9),
+                          crowd::ConfusionMatrix(2, 0.6)};
+  const ReliabilityReport r =
+      CompareReliability(est, est, {100, 100}, 0);
+  EXPECT_DOUBLE_EQ(r.mean_abs_reliability_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_matrix_distance, 0.0);
+  ASSERT_EQ(r.estimated.size(), 2u);
+}
+
+TEST(ReliabilityTest, MinLabelsFilters) {
+  crowd::ConfusionSet est{crowd::ConfusionMatrix(2, 0.9),
+                          crowd::ConfusionMatrix(2, 0.6)};
+  const ReliabilityReport r = CompareReliability(est, est, {3, 100}, 5);
+  EXPECT_EQ(r.estimated.size(), 1u);
+  EXPECT_NEAR(r.estimated[0], 0.6, 1e-6);
+}
+
+TEST(ReliabilityTest, CorrelationDetectsOrdering) {
+  crowd::ConfusionSet est{crowd::ConfusionMatrix(2, 0.95),
+                          crowd::ConfusionMatrix(2, 0.75),
+                          crowd::ConfusionMatrix(2, 0.55)};
+  crowd::ConfusionSet act{crowd::ConfusionMatrix(2, 0.9),
+                          crowd::ConfusionMatrix(2, 0.7),
+                          crowd::ConfusionMatrix(2, 0.5)};
+  const ReliabilityReport r =
+      CompareReliability(est, act, {10, 10, 10}, 0);
+  EXPECT_NEAR(r.pearson_correlation, 1.0, 1e-6);
+  // Anti-correlated case.
+  crowd::ConfusionSet anti{crowd::ConfusionMatrix(2, 0.5),
+                           crowd::ConfusionMatrix(2, 0.7),
+                           crowd::ConfusionMatrix(2, 0.9)};
+  const ReliabilityReport r2 =
+      CompareReliability(anti, act, {10, 10, 10}, 0);
+  EXPECT_NEAR(r2.pearson_correlation, -1.0, 1e-6);
+}
+
+TEST(ReliabilityTest, TopAnnotatorsByVolume) {
+  const std::vector<int> top = TopAnnotatorsByVolume({5, 100, 30, 70}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 3);
+}
+
+}  // namespace
+}  // namespace lncl::eval

@@ -1,0 +1,569 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "crowd/simulator.h"
+#include "data/bio.h"
+#include "data/ner_gen.h"
+#include "data/sentiment_gen.h"
+#include "eval/metrics.h"
+#include "inference/bsc_seq.h"
+#include "inference/catd.h"
+#include "inference/chain.h"
+#include "inference/dawid_skene.h"
+#include "inference/glad.h"
+#include "inference/hmm_crowd.h"
+#include "inference/ibcc.h"
+#include "inference/mace.h"
+#include "inference/majority_vote.h"
+#include "inference/pm.h"
+#include "inference/truth_inference.h"
+#include "inference/zencrowd.h"
+#include "util/rng.h"
+
+namespace lncl::inference {
+namespace {
+
+using util::Rng;
+
+// Shared fixture: a classification corpus with a simulated crowd.
+class ClassificationInferenceTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(123);
+    data::SentimentGenConfig gcfg;
+    corpus_ = new data::SentimentCorpus(
+        data::GenerateSentimentCorpus(gcfg, 600, 50, 50, rng_));
+    crowd::CrowdConfig ccfg;
+    ccfg.num_annotators = 40;
+    sim_ = new crowd::CrowdSimulator(
+        crowd::CrowdSimulator::MakeClassification(ccfg, 2, rng_));
+    annotations_ = new crowd::AnnotationSet(
+        sim_->Annotate(corpus_->train, rng_));
+    items_ = new std::vector<int>(ItemsPerInstance(corpus_->train));
+  }
+  static void TearDownTestSuite() {
+    delete items_;
+    delete annotations_;
+    delete sim_;
+    delete corpus_;
+    delete rng_;
+  }
+
+  static double RunAccuracy(const TruthInference& method) {
+    Rng rng(7);
+    const auto posteriors = method.Infer(*annotations_, *items_, &rng);
+    return eval::PosteriorAccuracy(posteriors, corpus_->train);
+  }
+
+  static Rng* rng_;
+  static data::SentimentCorpus* corpus_;
+  static crowd::CrowdSimulator* sim_;
+  static crowd::AnnotationSet* annotations_;
+  static std::vector<int>* items_;
+};
+
+Rng* ClassificationInferenceTest::rng_ = nullptr;
+data::SentimentCorpus* ClassificationInferenceTest::corpus_ = nullptr;
+crowd::CrowdSimulator* ClassificationInferenceTest::sim_ = nullptr;
+crowd::AnnotationSet* ClassificationInferenceTest::annotations_ = nullptr;
+std::vector<int>* ClassificationInferenceTest::items_ = nullptr;
+
+TEST_F(ClassificationInferenceTest, FlattenRoundTrip) {
+  const ItemView view = FlattenItems(*annotations_, *items_);
+  EXPECT_EQ(view.items.size(), static_cast<size_t>(corpus_->train.size()));
+  EXPECT_EQ(view.num_classes, 2);
+  long labels = 0;
+  for (const auto& item : view.items) labels += item.labels.size();
+  EXPECT_EQ(labels, annotations_->TotalAnnotations());
+}
+
+TEST_F(ClassificationInferenceTest, MajorityVoteBetterThanChance) {
+  MajorityVote mv;
+  EXPECT_GT(RunAccuracy(mv), 0.62);  // default crowd config is quite noisy
+}
+
+TEST_F(ClassificationInferenceTest, DawidSkeneBeatsMajorityVote) {
+  MajorityVote mv;
+  DawidSkene ds;
+  EXPECT_GT(RunAccuracy(ds), RunAccuracy(mv));
+}
+
+TEST_F(ClassificationInferenceTest, GladBeatsMajorityVote) {
+  MajorityVote mv;
+  Glad glad;
+  EXPECT_GT(RunAccuracy(glad), RunAccuracy(mv));
+}
+
+TEST_F(ClassificationInferenceTest, IbccCompetitiveWithDs) {
+  DawidSkene ds;
+  Ibcc ibcc;
+  EXPECT_GT(RunAccuracy(ibcc), RunAccuracy(ds) - 0.02);
+}
+
+TEST_F(ClassificationInferenceTest, PmAndCatdBeatMajorityVote) {
+  MajorityVote mv;
+  Pm pm;
+  Catd catd;
+  const double mv_acc = RunAccuracy(mv);
+  EXPECT_GE(RunAccuracy(pm), mv_acc - 0.005);
+  EXPECT_GE(RunAccuracy(catd), mv_acc - 0.005);
+}
+
+TEST_F(ClassificationInferenceTest, DsRecoversAnnotatorReliabilityOrdering) {
+  DawidSkene ds;
+  const ItemView view = FlattenItems(*annotations_, *items_);
+  crowd::ConfusionSet confusions;
+  ds.Run(view, 0.0, &confusions);
+  const crowd::ConfusionSet empirical =
+      crowd::EmpiricalConfusions(*annotations_, corpus_->train);
+  const auto labels = annotations_->LabelsPerAnnotator();
+  // Estimated reliabilities should correlate with the empirical truth.
+  double cov = 0.0, ve = 0.0, va = 0.0, me = 0.0, ma = 0.0;
+  int n = 0;
+  for (size_t j = 0; j < confusions.size(); ++j) {
+    if (labels[j] < 30) continue;
+    me += confusions[j].Reliability();
+    ma += empirical[j].Reliability();
+    ++n;
+  }
+  ASSERT_GT(n, 5);
+  me /= n;
+  ma /= n;
+  for (size_t j = 0; j < confusions.size(); ++j) {
+    if (labels[j] < 30) continue;
+    const double de = confusions[j].Reliability() - me;
+    const double da = empirical[j].Reliability() - ma;
+    cov += de * da;
+    ve += de * de;
+    va += da * da;
+  }
+  EXPECT_GT(cov / std::sqrt(ve * va), 0.7);
+}
+
+TEST_F(ClassificationInferenceTest, GladEstimatesAbilityOrdering) {
+  Glad glad;
+  const auto detailed = glad.RunDetailed(*annotations_, *items_);
+  const crowd::ConfusionSet empirical =
+      crowd::EmpiricalConfusions(*annotations_, corpus_->train);
+  const auto labels = annotations_->LabelsPerAnnotator();
+  // The most able annotator (by alpha) among heavy labelers should have
+  // above-average empirical accuracy.
+  int best = -1;
+  double best_alpha = -1e9;
+  for (size_t j = 0; j < detailed.ability.size(); ++j) {
+    if (labels[j] < 50) continue;
+    if (detailed.ability[j] > best_alpha) {
+      best_alpha = detailed.ability[j];
+      best = static_cast<int>(j);
+    }
+  }
+  ASSERT_GE(best, 0);
+  EXPECT_GT(empirical[best].Reliability(), 0.7);
+}
+
+
+TEST_F(ClassificationInferenceTest, MaceBeatsMajorityVote) {
+  MajorityVote mv;
+  Mace mace;
+  EXPECT_GT(RunAccuracy(mace), RunAccuracy(mv));
+}
+
+
+TEST_F(ClassificationInferenceTest, ZenCrowdBeatsMajorityVote) {
+  MajorityVote mv;
+  ZenCrowd zc;
+  EXPECT_GT(RunAccuracy(zc), RunAccuracy(mv));
+}
+
+TEST(ZenCrowdToyTest, ReliabilityOrderingRecovered) {
+  Rng rng(15);
+  const int n = 400;
+  crowd::AnnotationSet ann(n, 3, 3);
+  data::Dataset d;
+  d.num_classes = 3;
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = rng.UniformInt(3);
+    d.instances.push_back(x);
+    const int truth = d.instances[i].label;
+    auto noisy = [&](double p) {
+      if (rng.Bernoulli(p)) return truth;
+      int other = rng.UniformInt(2);
+      if (other >= truth) ++other;
+      return other;
+    };
+    ann.instance(i).entries.push_back({0, {noisy(0.95)}});
+    ann.instance(i).entries.push_back({1, {noisy(0.7)}});
+    ann.instance(i).entries.push_back({2, {noisy(0.4)}});
+  }
+  ZenCrowd zc;
+  const auto detailed = zc.RunDetailed(ann, std::vector<int>(n, 1));
+  EXPECT_GT(detailed.reliability[0], detailed.reliability[1]);
+  EXPECT_GT(detailed.reliability[1], detailed.reliability[2]);
+  EXPECT_NEAR(detailed.reliability[0], 0.95, 0.07);
+  EXPECT_GT(eval::PosteriorAccuracy(detailed.posteriors, d), 0.9);
+}
+
+TEST(MaceToyTest, DetectsConstantClassSpammer) {
+  Rng rng(8);
+  const int n = 300;
+  crowd::AnnotationSet ann(n, 3, 2);
+  data::Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = rng.UniformInt(2);
+    d.instances.push_back(x);
+    const int truth = d.instances[i].label;
+    ann.instance(i).entries.push_back({0, {truth}});  // competent
+    const int noisy = rng.Bernoulli(0.8) ? truth : 1 - truth;
+    ann.instance(i).entries.push_back({1, {noisy}});  // decent
+    ann.instance(i).entries.push_back({2, {1}});      // constant-1 spammer
+  }
+  Mace mace;
+  const auto detailed = mace.RunDetailed(ann, std::vector<int>(n, 1));
+  // MACE's competence is known to be downward-biased (a spamming annotator
+  // can emit the correct label too), so assert the ordering plus loose
+  // absolute bands.
+  // (with only 3 annotators the 100% and 80% annotators are near-
+  // indistinguishable; what matters is that both dominate the spammer)
+  EXPECT_GT(detailed.competence[0], 0.7);
+  EXPECT_GT(detailed.competence[1], detailed.competence[2]);
+  EXPECT_LT(detailed.competence[2], 0.35);
+  EXPECT_GT(eval::PosteriorAccuracy(detailed.posteriors, d), 0.85);
+}
+
+TEST(MaceToyTest, SpamDistributionIgnoredForHonestCrowd) {
+  // Everyone perfect: competence should approach 1 for all.
+  Rng rng(9);
+  const int n = 150;
+  crowd::AnnotationSet ann(n, 4, 3);
+  for (int i = 0; i < n; ++i) {
+    const int truth = rng.UniformInt(3);
+    for (int j = 0; j < 4; ++j) {
+      ann.instance(i).entries.push_back({j, {truth}});
+    }
+  }
+  Mace mace;
+  const auto detailed = mace.RunDetailed(ann, std::vector<int>(n, 1));
+  for (double c : detailed.competence) EXPECT_GT(c, 0.8);
+}
+
+// --------------------------------------------------------------- Chain --
+
+TEST(ChainTest, UniformEverythingGivesUniformMarginals) {
+  const int k = 3;
+  util::Vector prior(k, 1.0f / k);
+  util::Matrix transition(k, k, 1.0f / k);
+  util::Matrix emission(4, k, 1.0f);
+  util::Matrix gamma;
+  ChainForwardBackward(prior, transition, emission, &gamma, nullptr);
+  for (int t = 0; t < 4; ++t) {
+    for (int m = 0; m < k; ++m) EXPECT_NEAR(gamma(t, m), 1.0 / k, 1e-5);
+  }
+}
+
+TEST(ChainTest, StrongEmissionDominates) {
+  const int k = 2;
+  util::Vector prior(k, 0.5f);
+  util::Matrix transition(k, k, 0.5f);
+  util::Matrix emission(3, k, 1e-3f);
+  emission(0, 0) = 1.0f;
+  emission(1, 1) = 1.0f;
+  emission(2, 0) = 1.0f;
+  util::Matrix gamma;
+  ChainForwardBackward(prior, transition, emission, &gamma, nullptr);
+  EXPECT_GT(gamma(0, 0), 0.95f);
+  EXPECT_GT(gamma(1, 1), 0.95f);
+  EXPECT_GT(gamma(2, 0), 0.95f);
+}
+
+TEST(ChainTest, TransitionSmoothsAmbiguousStep) {
+  // Middle step has flat emission; sticky transitions should pull it toward
+  // the neighbors' state.
+  const int k = 2;
+  util::Vector prior(k, 0.5f);
+  util::Matrix transition(k, k);
+  transition(0, 0) = 0.9f; transition(0, 1) = 0.1f;
+  transition(1, 0) = 0.1f; transition(1, 1) = 0.9f;
+  util::Matrix emission(3, k, 1.0f);
+  emission(0, 1) = 0.01f;
+  emission(2, 1) = 0.01f;
+  util::Matrix gamma;
+  ChainForwardBackward(prior, transition, emission, &gamma, nullptr);
+  EXPECT_GT(gamma(1, 0), 0.9f);
+}
+
+TEST(ChainTest, XiSumsAccumulate) {
+  const int k = 2;
+  util::Vector prior(k, 0.5f);
+  util::Matrix transition(k, k, 0.5f);
+  util::Matrix emission(4, k, 1.0f);
+  util::Matrix gamma;
+  util::Matrix xi(k, k);
+  ChainForwardBackward(prior, transition, emission, &gamma, &xi);
+  double total = 0.0;
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) total += xi(a, b);
+  }
+  EXPECT_NEAR(total, 3.0, 1e-4);  // T-1 pairwise distributions
+}
+
+// ----------------------------------------------------- Sequence methods --
+
+class SequenceInferenceTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(321);
+    data::NerGenConfig gcfg;
+    corpus_ = new data::NerCorpus(
+        data::GenerateNerCorpus(gcfg, 250, 30, 30, &rng));
+    crowd::CrowdConfig ccfg;
+    ccfg.num_annotators = 25;
+    auto sim = crowd::CrowdSimulator::MakeSequence(ccfg, &rng);
+    annotations_ = new crowd::AnnotationSet(
+        sim.AnnotateSequences(corpus_->train, &rng));
+    items_ = new std::vector<int>(ItemsPerInstance(corpus_->train));
+  }
+  static void TearDownTestSuite() {
+    delete items_;
+    delete annotations_;
+    delete corpus_;
+  }
+
+  static double RunF1(const TruthInference& method) {
+    Rng rng(7);
+    const auto posteriors = method.Infer(*annotations_, *items_, &rng);
+    return eval::PosteriorSpanF1(posteriors, corpus_->train).f1;
+  }
+
+  static data::NerCorpus* corpus_;
+  static crowd::AnnotationSet* annotations_;
+  static std::vector<int>* items_;
+};
+
+data::NerCorpus* SequenceInferenceTest::corpus_ = nullptr;
+crowd::AnnotationSet* SequenceInferenceTest::annotations_ = nullptr;
+std::vector<int>* SequenceInferenceTest::items_ = nullptr;
+
+TEST_F(SequenceInferenceTest, TokenMethodsBetterThanNothing) {
+  MajorityVote mv;
+  EXPECT_GT(RunF1(mv), 0.35);
+}
+
+TEST_F(SequenceInferenceTest, DsBeatsMvOnSequences) {
+  MajorityVote mv;
+  DawidSkene ds;
+  EXPECT_GT(RunF1(ds), RunF1(mv));
+}
+
+TEST_F(SequenceInferenceTest, HmmCrowdBeatsTokenMv) {
+  MajorityVote mv;
+  HmmCrowd hmm;
+  EXPECT_GT(RunF1(hmm), RunF1(mv));
+}
+
+TEST_F(SequenceInferenceTest, BscSeqCompetitiveWithHmmCrowd) {
+  HmmCrowd hmm;
+  BscSeq bsc;
+  EXPECT_GT(RunF1(bsc), RunF1(hmm) - 0.03);
+}
+
+TEST_F(SequenceInferenceTest, PosteriorsRowStochastic) {
+  Rng rng(7);
+  HmmCrowd hmm;
+  const auto posteriors = hmm.Infer(*annotations_, *items_, &rng);
+  for (size_t i = 0; i < posteriors.size(); i += 40) {
+    for (int t = 0; t < posteriors[i].rows(); ++t) {
+      double sum = 0.0;
+      for (int c = 0; c < posteriors[i].cols(); ++c) {
+        sum += posteriors[i](t, c);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-4);
+    }
+  }
+}
+
+
+TEST(PmToyTest, DownWeightsPersistentlyWrongSource) {
+  Rng rng(11);
+  const int n = 400;
+  crowd::AnnotationSet ann(n, 3, 2);
+  data::Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = rng.UniformInt(2);
+    d.instances.push_back(x);
+    const int truth = d.instances[i].label;
+    ann.instance(i).entries.push_back({0, {truth}});
+    ann.instance(i).entries.push_back(
+        {1, {rng.Bernoulli(0.9) ? truth : 1 - truth}});
+    ann.instance(i).entries.push_back({2, {1 - truth}});  // always wrong
+  }
+  Pm pm;
+  Rng run(1);
+  const auto q = pm.Infer(ann, std::vector<int>(n, 1), &run);
+  // Despite the adversary, weighted voting stays close to the reliable
+  // annotators' ceiling (the 3-vote committee cannot fully mute it).
+  EXPECT_GT(eval::PosteriorAccuracy(q, d), 0.88);
+}
+
+TEST(CatdToyTest, LowVolumeSourceGetsConservativeWeight) {
+  // Annotator 2 is perfect but labeled only 5 items; annotator 1 is 85%
+  // accurate over everything. CATD must still aggregate sensibly.
+  Rng rng(12);
+  const int n = 300;
+  crowd::AnnotationSet ann(n, 3, 2);
+  data::Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = rng.UniformInt(2);
+    d.instances.push_back(x);
+    const int truth = d.instances[i].label;
+    ann.instance(i).entries.push_back({0, {truth}});
+    ann.instance(i).entries.push_back(
+        {1, {rng.Bernoulli(0.85) ? truth : 1 - truth}});
+    if (i < 5) ann.instance(i).entries.push_back({2, {truth}});
+  }
+  Catd catd;
+  Rng run(1);
+  const auto q = catd.Infer(ann, std::vector<int>(n, 1), &run);
+  EXPECT_GT(eval::PosteriorAccuracy(q, d), 0.85);
+}
+
+TEST(IbccToyTest, PriorStabilizesSparseAnnotators) {
+  // Sparse labels per annotator: plain DS overfits its confusion estimates;
+  // IBCC's diagonal prior must keep the posterior accuracy reasonable.
+  Rng rng(13);
+  const int n = 120;
+  const int annotators = 40;  // each labels ~9 items
+  crowd::AnnotationSet ann(n, annotators, 2);
+  data::Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = rng.UniformInt(2);
+    d.instances.push_back(x);
+    for (int j : rng.SampleWithoutReplacement(annotators, 3)) {
+      const int truth = d.instances[i].label;
+      ann.instance(i).entries.push_back(
+          {j, {rng.Bernoulli(0.75) ? truth : 1 - truth}});
+    }
+  }
+  Ibcc ibcc;
+  Rng run(1);
+  const auto q = ibcc.Infer(ann, std::vector<int>(n, 1), &run);
+  EXPECT_GT(eval::PosteriorAccuracy(q, d), 0.75);
+}
+
+TEST(HmmCrowdToyTest, TransitionsRepairIsolatedTokenErrors) {
+  // Truth: long runs of state 0 with occasional 1s; a noisy annotator flips
+  // isolated tokens. The chain prior should smooth isolated flips better
+  // than token-wise DS.
+  Rng rng(14);
+  const int n = 80;
+  data::Dataset d;
+  d.num_classes = 2;
+  d.sequence = true;
+  crowd::AnnotationSet ann(n, 4, 2);
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    const int len = 12;
+    x.tokens.assign(len, 1);
+    x.tag_labels.assign(len, 0);
+    // one run of 1s of length 3
+    const int start = rng.UniformInt(len - 3);
+    for (int t = start; t < start + 3; ++t) x.tag_labels[t] = 1;
+    d.instances.push_back(x);
+    for (int j = 0; j < 4; ++j) {
+      crowd::AnnotatorLabels e;
+      e.annotator = j;
+      for (int t = 0; t < len; ++t) {
+        const int truth = d.instances[i].tag_labels[t];
+        e.labels.push_back(rng.Bernoulli(0.8) ? truth : 1 - truth);
+      }
+      ann.instance(i).entries.push_back(std::move(e));
+    }
+  }
+  HmmCrowd hmm;
+  DawidSkene ds;
+  Rng run(1);
+  const auto items = ItemsPerInstance(d);
+  const double hmm_acc =
+      eval::PosteriorAccuracy(hmm.Infer(ann, items, &run), d);
+  const double ds_acc = eval::PosteriorAccuracy(ds.Infer(ann, items, &run), d);
+  EXPECT_GE(hmm_acc, ds_acc - 0.01);
+  EXPECT_GT(hmm_acc, 0.9);
+}
+
+// ---------------------------------------------- Small planted sanity set --
+
+// Three annotators: two perfect, one adversarial. DS must learn to discount
+// the adversary; MV cannot when the adversary teams with one noisy labeler.
+TEST(DawidSkeneToyTest, DiscountsAdversarialAnnotator) {
+  Rng rng(5);
+  const int n = 200;
+  data::Dataset d;
+  d.num_classes = 2;
+  crowd::AnnotationSet ann(n, 3, 2);
+  for (int i = 0; i < n; ++i) {
+    data::Instance x;
+    x.tokens = {1};
+    x.label = rng.UniformInt(2);
+    d.instances.push_back(x);
+    const int truth = d.instances[i].label;
+    ann.instance(i).entries.push_back({0, {truth}});  // perfect
+    // Good-but-noisy annotator (85%).
+    const int noisy = rng.Bernoulli(0.85) ? truth : 1 - truth;
+    ann.instance(i).entries.push_back({1, {noisy}});
+    // Adversary: always wrong.
+    ann.instance(i).entries.push_back({2, {1 - truth}});
+  }
+  DawidSkene ds;
+  Rng run_rng(1);
+  const auto q = ds.Infer(ann, std::vector<int>(n, 1), &run_rng);
+  EXPECT_GT(eval::PosteriorAccuracy(q, d), 0.97);
+
+  // And the confusion estimate of the adversary has a low diagonal.
+  const ItemView view = FlattenItems(ann, std::vector<int>(n, 1));
+  crowd::ConfusionSet confusions;
+  ds.Run(view, 0.0, &confusions);
+  EXPECT_LT(confusions[2].Reliability(), 0.2);
+  EXPECT_GT(confusions[0].Reliability(), 0.9);
+}
+
+TEST(GladToyTest, HardItemsGetHigherDifficulty) {
+  // Annotators agree on easy items, disagree on hard ones.
+  Rng rng(6);
+  const int n_easy = 100, n_hard = 100;
+  crowd::AnnotationSet ann(n_easy + n_hard, 6, 2);
+  for (int i = 0; i < n_easy + n_hard; ++i) {
+    const bool hard = i >= n_easy;
+    for (int j = 0; j < 6; ++j) {
+      const int label = hard ? rng.UniformInt(2) : 0;
+      ann.instance(i).entries.push_back({j, {label}});
+    }
+  }
+  Glad glad;
+  const auto detailed =
+      glad.RunDetailed(ann, std::vector<int>(n_easy + n_hard, 1));
+  double mean_easy = 0.0, mean_hard = 0.0;
+  for (int i = 0; i < n_easy; ++i) mean_easy += detailed.difficulty[i];
+  for (int i = n_easy; i < n_easy + n_hard; ++i) {
+    mean_hard += detailed.difficulty[i];
+  }
+  EXPECT_GT(mean_hard / n_hard, mean_easy / n_easy);
+}
+
+}  // namespace
+}  // namespace lncl::inference
