@@ -17,6 +17,7 @@ Scale SentimentScale(const util::Config& config) {
   scale.epochs = config.GetInt("epochs", full ? 30 : 15);
   scale.runs = config.GetInt("runs", full ? 50 : 5);
   scale.batch = config.GetInt("batch", 50);
+  scale.intra_threads = config.GetInt("intra_threads", 0);
   return scale;
 }
 
@@ -35,6 +36,7 @@ Scale NerScale(const util::Config& config) {
   // At reduced scale an epoch has ~10x fewer optimizer steps, so give
   // slow-starting methods (crowd layer, per-annotator nets) more patience.
   scale.patience = config.GetInt("patience", full ? 5 : 8);
+  scale.intra_threads = config.GetInt("intra_threads", 0);
   return scale;
 }
 
@@ -143,6 +145,7 @@ core::LogicLnclConfig SentimentLnclConfig(const Scale& scale) {
   config.batch_size = scale.batch;
   config.patience = 5;
   config.optimizer = SentimentOptimizer();
+  config.threads = scale.intra_threads;
   return config;
 }
 
@@ -155,6 +158,7 @@ core::LogicLnclConfig NerLnclConfig(const Scale& scale) {
   config.batch_size = scale.batch;
   config.patience = scale.patience;
   config.optimizer = NerOptimizer();
+  config.threads = scale.intra_threads;
   return config;
 }
 

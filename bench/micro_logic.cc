@@ -100,4 +100,6 @@ BENCHMARK(BM_UpdateConfusions)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace lncl
 
+#ifndef LNCL_MICRO_COMBINED
 BENCHMARK_MAIN();
+#endif

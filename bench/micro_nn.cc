@@ -131,4 +131,6 @@ BENCHMARK(BM_NerTaggerTrainStep);
 }  // namespace
 }  // namespace lncl
 
+#ifndef LNCL_MICRO_COMBINED
 BENCHMARK_MAIN();
+#endif

@@ -179,7 +179,9 @@ void Run(int argc, char** argv) {
       std::unique_ptr<models::Model> model = cnn(&rng);
       core::SentimentButRule rule(model.get(), setup.corpus.but_token);
       const core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
-      core::LogicLncl m(lcfg, std::move(model), &rule);
+      // `cnn` doubles as the replica factory for the sharded training path
+      // (only used when --intra_threads >= 1).
+      core::LogicLncl m(lcfg, std::move(model), &rule, cnn);
       m.Fit(train, ann, dev, &rng);
       const double inference = eval::PosteriorAccuracy(m.qf(), train);
       collect.Add("Logic-LNCL-student",

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer sweep over the tier-1 test suite: builds and runs the tests
+# under ASan+UBSan, then under TSan (which exercises the deterministic
+# parallel training paths in determinism_test / util_test with real data
+# races flagged, not just bit-identity checked).
+#
+#   scripts/check.sh              # both sweeps
+#   scripts/check.sh address,undefined
+#   scripts/check.sh thread
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sweeps=("address,undefined" "thread")
+if [ $# -ge 1 ]; then
+  sweeps=("$@")
+fi
+
+for san in "${sweeps[@]}"; do
+  build="build-san-${san//,/ -}"
+  build="${build// /}"
+  echo "===== LNCL_SANITIZE=${san} (${build}) ====="
+  cmake -B "$build" -S . -DLNCL_SANITIZE="$san" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$build" -j "$(nproc)"
+  ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+done
+
+echo "All sanitizer sweeps passed."

@@ -35,8 +35,11 @@ LogicLncl::LogicLncl(LogicLnclConfig config, models::ModelFactory factory,
 
 LogicLncl::LogicLncl(LogicLnclConfig config,
                      std::unique_ptr<models::Model> model,
-                     const logic::RuleProjector* projector)
-    : config_(std::move(config)), projector_(projector) {
+                     const logic::RuleProjector* projector,
+                     models::ModelFactory replica_factory)
+    : config_(std::move(config)),
+      factory_(std::move(replica_factory)),
+      projector_(projector) {
   if (!config_.k_schedule) config_.k_schedule = ConstantK(0.0);
   model_ = std::move(model);
 }
@@ -64,6 +67,26 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
   std::unique_ptr<nn::Optimizer> optimizer =
       nn::MakeOptimizer(config_.optimizer);
   const std::vector<nn::Parameter*> params = model_->Params();
+
+  // Deterministic parallel execution (config_.threads >= 1): a fixed slot
+  // structure makes every reduction order independent of the thread count,
+  // so any threads >= 1 produces bit-identical results. threads == 0 keeps
+  // the legacy serial trajectory.
+  const bool sharded = config_.threads >= 1;
+  util::Parallelizer exec(std::max(1, config_.threads));
+  std::vector<std::unique_ptr<models::Model>> replicas;
+  std::vector<models::Model*> slot_models;
+  if (sharded && factory_) {
+    // Replica initial weights are irrelevant (values are synced from the
+    // master before every batch); a fixed-seed throwaway rng keeps the
+    // caller's stream untouched.
+    util::Rng replica_rng(0x51ced0c5u);
+    slot_models.push_back(model_.get());
+    for (int s = 1; s < util::Parallelizer::kSlots; ++s) {
+      replicas.push_back(factory_(&replica_rng));
+      slot_models.push_back(replicas.back().get());
+    }
+  }
 
   // Line 1 of Algorithm 1: initialize q_f with Majority Voting.
   qf_ = annotations.MajorityVote(inference::ItemsPerInstance(train));
@@ -97,30 +120,42 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
     nn::ApplyLrSchedule(config_.optimizer, epoch, optimizer.get());
 
     // ---- Pseudo-M-step: network (Eq. 8/10/11), then annotators (Eq. 12).
-    const double loss = RunMinibatchEpoch(train, qf_, weights,
-                                          config_.batch_size, model_.get(),
-                                          optimizer.get(), rng);
+    const double loss =
+        slot_models.empty()
+            ? RunMinibatchEpoch(train, qf_, weights, config_.batch_size,
+                                model_.get(), optimizer.get(), rng)
+            : RunMinibatchEpochSharded(train, qf_, weights, config_.batch_size,
+                                       model_.get(), slot_models,
+                                       optimizer.get(), rng, &exec);
     result.loss_curve.push_back(loss);
     UpdateConfusions(qf_, annotations, config_.confusion_smoothing,
-                     &confusions_);
+                     &confusions_, sharded ? &exec : nullptr);
 
     // ---- Pseudo-E-step: q_a (Eq. 13), q_b (Eq. 15), q_f (Eq. 9).
+    // Instances are independent (each slot writes only its own qf_ rows), so
+    // the parallel sweep is deterministic regardless of slot structure.
     const double k = config_.k_schedule(epoch);
-    for (int i = 0; i < train.size(); ++i) {
-      const data::Instance& x = train.instances[i];
-      const util::Matrix probs = model_->Predict(x);
-      util::Matrix qa = ComputeQa(probs, annotations.instance(i), confusions_);
-      if (projector_ != nullptr && config_.use_rules_in_training && k > 0.0) {
-        const util::Matrix qb = projector_->Project(x, qa, config_.C);
-        for (int t = 0; t < qa.rows(); ++t) {
-          for (int c = 0; c < qa.cols(); ++c) {
-            qa(t, c) = static_cast<float>((1.0 - k) * qa(t, c) +
-                                          k * qb(t, c));
+    exec.RunSlots(util::Parallelizer::kSlots, [&](int slot) {
+      const auto [begin, end] = util::Parallelizer::SlotRange(
+          train.size(), slot, util::Parallelizer::kSlots);
+      for (int i = begin; i < end; ++i) {
+        const data::Instance& x = train.instances[i];
+        const util::Matrix probs = model_->Predict(x);
+        util::Matrix qa =
+            ComputeQa(probs, annotations.instance(i), confusions_);
+        if (projector_ != nullptr && config_.use_rules_in_training &&
+            k > 0.0) {
+          const util::Matrix qb = projector_->Project(x, qa, config_.C);
+          for (int t = 0; t < qa.rows(); ++t) {
+            for (int c = 0; c < qa.cols(); ++c) {
+              qa(t, c) = static_cast<float>((1.0 - k) * qa(t, c) +
+                                            k * qb(t, c));
+            }
           }
         }
+        qf_[i] = std::move(qa);
       }
-      qf_[i] = std::move(qa);
-    }
+    });
     anchor();
 
     // ---- Model selection on dev.

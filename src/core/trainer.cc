@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 namespace lncl::core {
@@ -31,6 +32,86 @@ double RunMinibatchEpoch(const data::Dataset& dataset,
   }
   if (in_batch > 0) optimizer->Step(params);
   return dataset.size() > 0 ? total_loss / dataset.size() : 0.0;
+}
+
+namespace {
+
+// splitmix64 finalizer; decorrelates per-instance dropout seeds.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double RunMinibatchEpochSharded(const data::Dataset& dataset,
+                                const std::vector<util::Matrix>& targets,
+                                const std::vector<float>& weights,
+                                int batch_size, models::Model* master,
+                                const std::vector<models::Model*>& slot_models,
+                                nn::Optimizer* optimizer, util::Rng* rng,
+                                util::Parallelizer* exec) {
+  constexpr int kSlots = util::Parallelizer::kSlots;
+  assert(static_cast<int>(targets.size()) == dataset.size());
+  assert(static_cast<int>(slot_models.size()) == kSlots);
+  const int n = dataset.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const uint64_t epoch_seed = rng->engine()();
+
+  const std::vector<nn::Parameter*> master_params = master->Params();
+  std::vector<std::vector<nn::Parameter*>> slot_params(slot_models.size());
+  for (size_t s = 0; s < slot_models.size(); ++s) {
+    slot_params[s] = slot_models[s]->Params();
+    assert(slot_params[s].size() == master_params.size());
+  }
+  const auto sync_replicas = [&] {
+    for (size_t s = 0; s < slot_models.size(); ++s) {
+      if (slot_models[s] == master) continue;
+      for (size_t p = 0; p < master_params.size(); ++p) {
+        slot_params[s][p]->value = master_params[p]->value;
+      }
+    }
+  };
+  // Replicas may be stale (previous epoch's last step, or an early-stopping
+  // restore into the master).
+  sync_replicas();
+
+  double total_loss = 0.0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int len = std::min(batch_size, n - start);
+    double slot_loss[kSlots] = {0.0};
+    exec->RunSlots(kSlots, [&](int s) {
+      const auto [b, e] = util::Parallelizer::SlotRange(len, s, kSlots);
+      models::Model* m = slot_models[s];
+      for (int p = b; p < e; ++p) {
+        const int pos = start + p;  // position in the shuffled epoch order
+        const int idx = order[pos];
+        // Dropout stream keyed by (epoch seed, position): the sampled masks
+        // are a pure function of the epoch, not of execution order.
+        util::Rng inst_rng(Mix64(epoch_seed ^ static_cast<uint64_t>(pos)));
+        const float w = weights.empty() ? 1.0f : weights[idx];
+        m->ForwardTrain(dataset.instances[idx], &inst_rng);
+        slot_loss[s] += m->BackwardSoftTarget(targets[idx], w);
+      }
+    });
+    // Fixed-order reduction: losses and gradients merge in slot index order
+    // no matter which thread ran which slot.
+    for (int s = 0; s < kSlots; ++s) total_loss += slot_loss[s];
+    for (int s = 0; s < kSlots; ++s) {
+      if (slot_models[s] == master) continue;
+      for (size_t p = 0; p < master_params.size(); ++p) {
+        master_params[p]->grad.AddScaled(slot_params[s][p]->grad, 1.0f);
+        slot_params[s][p]->grad.Zero();
+      }
+    }
+    optimizer->Step(master_params);
+    sync_replicas();
+  }
+  return n > 0 ? total_loss / n : 0.0;
 }
 
 util::Matrix ComputeQa(const util::Matrix& probs,
@@ -68,21 +149,52 @@ util::Matrix ComputeQa(const util::Matrix& probs,
 
 void UpdateConfusions(const std::vector<util::Matrix>& qf,
                       const crowd::AnnotationSet& annotations,
-                      double smoothing, crowd::ConfusionSet* confusions) {
+                      double smoothing, crowd::ConfusionSet* confusions,
+                      util::Parallelizer* exec) {
   const int k = annotations.num_classes();
-  if (confusions->size() != static_cast<size_t>(annotations.num_annotators())) {
-    confusions->assign(annotations.num_annotators(),
-                       crowd::ConfusionMatrix(k, 0.7));
+  const int num_annotators = annotations.num_annotators();
+  if (confusions->size() != static_cast<size_t>(num_annotators)) {
+    confusions->assign(num_annotators, crowd::ConfusionMatrix(k, 0.7));
   }
   for (auto& pi : *confusions) pi.matrix().Zero();
-  for (int i = 0; i < annotations.num_instances(); ++i) {
-    const util::Matrix& q = qf[i];
-    for (const crowd::AnnotatorLabels& e : annotations.instance(i).entries) {
-      for (size_t t = 0; t < e.labels.size(); ++t) {
-        const int row = static_cast<int>(t);
-        for (int m = 0; m < k; ++m) {
-          (*confusions)[e.annotator](m, e.labels[t]) += q(row, m);
+  if (exec == nullptr) {
+    for (int i = 0; i < annotations.num_instances(); ++i) {
+      const util::Matrix& q = qf[i];
+      for (const crowd::AnnotatorLabels& e : annotations.instance(i).entries) {
+        for (size_t t = 0; t < e.labels.size(); ++t) {
+          const int row = static_cast<int>(t);
+          for (int m = 0; m < k; ++m) {
+            (*confusions)[e.annotator](m, e.labels[t]) += q(row, m);
+          }
         }
+      }
+    }
+  } else {
+    // Sharded accumulation: per-slot count buffers over a fixed static
+    // partition of the instances, merged in slot order.
+    constexpr int kSlots = util::Parallelizer::kSlots;
+    std::vector<std::vector<util::Matrix>> acc(kSlots);
+    exec->RunSlots(kSlots, [&](int s) {
+      acc[s].assign(num_annotators, util::Matrix(k, k));
+      const auto [b, e_end] = util::Parallelizer::SlotRange(
+          annotations.num_instances(), s, kSlots);
+      for (int i = b; i < e_end; ++i) {
+        const util::Matrix& q = qf[i];
+        for (const crowd::AnnotatorLabels& e :
+             annotations.instance(i).entries) {
+          util::Matrix& counts = acc[s][e.annotator];
+          for (size_t t = 0; t < e.labels.size(); ++t) {
+            const int row = static_cast<int>(t);
+            for (int m = 0; m < k; ++m) {
+              counts(m, e.labels[t]) += q(row, m);
+            }
+          }
+        }
+      }
+    });
+    for (int s = 0; s < kSlots; ++s) {
+      for (int a = 0; a < num_annotators; ++a) {
+        (*confusions)[a].matrix().AddScaled(acc[s][a], 1.0f);
       }
     }
   }

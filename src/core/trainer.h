@@ -11,6 +11,7 @@
 #include "nn/serialize.h"
 #include "util/matrix.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace lncl::core {
 
@@ -30,6 +31,30 @@ double RunMinibatchEpoch(const data::Dataset& dataset,
                          models::Model* model, nn::Optimizer* optimizer,
                          util::Rng* rng);
 
+// Deterministic sharded variant of RunMinibatchEpoch.
+//
+// Each minibatch is split into util::Parallelizer::kSlots contiguous slots;
+// slot s accumulates its gradients into slot_models[s] (independent model
+// replicas sharing the master's architecture — slot_models[0] may be the
+// master itself). After the slots run — on however many threads `exec`
+// provides — losses and gradients are merged into the master in slot-index
+// order and the optimizer steps the master, whose values are then copied
+// back into the replicas. Dropout draws come from a per-instance generator
+// keyed by (epoch seed, position in the shuffled order), so the sampled
+// masks do not depend on execution order either. The result is bit-identical
+// for any thread count.
+//
+// Note the training trajectory differs from RunMinibatchEpoch's (different
+// dropout stream and summation order); the two are separate, individually
+// deterministic code paths.
+double RunMinibatchEpochSharded(const data::Dataset& dataset,
+                                const std::vector<util::Matrix>& targets,
+                                const std::vector<float>& weights,
+                                int batch_size, models::Model* master,
+                                const std::vector<models::Model*>& slot_models,
+                                nn::Optimizer* optimizer, util::Rng* rng,
+                                util::Parallelizer* exec);
+
 // Truth posterior of one instance given the classifier prior `probs`
 // (items x K) and the crowd labels, under the confusion-matrix likelihood —
 // Eq. 13 / Eq. A.2, computed in log space per item.
@@ -39,9 +64,14 @@ util::Matrix ComputeQa(const util::Matrix& probs,
 
 // Closed-form confusion-matrix update from soft truth estimates — Eq. 12.
 // `smoothing` is an additive pseudo-count before row normalization.
+// When `exec` is non-null the per-instance counts are accumulated into
+// util::Parallelizer::kSlots per-slot buffers and merged in slot order —
+// deterministic for any thread count, but a different (fixed) summation
+// order than the serial exec == nullptr path.
 void UpdateConfusions(const std::vector<util::Matrix>& qf,
                       const crowd::AnnotationSet& annotations,
-                      double smoothing, crowd::ConfusionSet* confusions);
+                      double smoothing, crowd::ConfusionSet* confusions,
+                      util::Parallelizer* exec = nullptr);
 
 // Early stopping on a dev score with patience, snapshotting the best
 // parameter values. Typical use:

@@ -23,8 +23,14 @@ namespace lncl::models {
 //
 // Training protocol: call ForwardTrain (dropout active, cache retained),
 // then exactly one of the Backward* methods, which accumulates parameter
-// gradients; the optimizer's Step() later consumes them. Models are not
-// thread-safe; parallelism in this library is across independent runs.
+// gradients; the optimizer's Step() later consumes them.
+//
+// Threading: the const methods (Predict) are safe to call concurrently on
+// one instance — layer scratch buffers are thread-local — which is what the
+// parallel E-step relies on. The mutable training protocol is not: one
+// model replica per thread slot, with gradients merged in fixed slot order,
+// is how the sharded trainer uses them (see core/trainer.h and
+// DESIGN.md §5).
 class Model {
  public:
   virtual ~Model() = default;

@@ -72,8 +72,10 @@ util::Matrix TextCnn::Predict(const data::Instance& x) const {
 const util::Matrix& TextCnn::ForwardTrain(const data::Instance& x,
                                           util::Rng* rng) {
   cache_.tokens = x.tokens;
-  cache_.conv_post.assign(convs_.size(), util::Matrix());
-  cache_.argmax.assign(convs_.size(), {});
+  // resize, not assign: the cached matrices keep their allocations across
+  // steps (Resize reuses capacity).
+  cache_.conv_post.resize(convs_.size());
+  cache_.argmax.resize(convs_.size());
   util::Vector feat;
   FeatureForward(x, &feat, &cache_.conv_post, &cache_.argmax,
                  &cache_.embedded);

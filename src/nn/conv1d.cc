@@ -20,58 +20,154 @@ int Conv1d::OutRows(int t) const {
   return std::max(1, t - window_ + 1);
 }
 
+namespace {
+
+// Backward scratch for the dense grad_x path. thread_local (rather than a
+// mutable member) keeps the layer safe under the parallel E-step.
+thread_local util::Matrix tls_grad_patches;
+
+}  // namespace
+
+// The sliding windows of a 1-D convolution over a row-major T x D input are
+// already an (out_rows x window*D) operand with leading dimension D — the
+// flattened window at output row o starts at x.Row(WindowStart(o)). Both
+// passes below exploit that through GemmRaw instead of materializing im2row
+// patch copies. Only output rows whose window overlaps the zero padding
+// (at most window-1 of them, kSame borders or a kValid input shorter than
+// the window) need scalar handling, over the clipped overlap
+// [lo, hi) x in_dim with the matching offset into the filter row.
+
 void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
   assert(x.cols() == in_dim_);
   const int t = x.rows();
   const int out_rows = OutRows(t);
   const int f = filters();
-  y->Resize(out_rows, f);
+  const int k_dim = window_ * in_dim_;
+  y->ResizeNoZero(out_rows, f);
   const float* bias = b_.value.Row(0);
   for (int o = 0; o < out_rows; ++o) {
-    const int start = WindowStart(o);
-    float* out = y->Row(o);
-    for (int k = 0; k < f; ++k) out[k] = bias[k];
-    for (int wi = 0; wi < window_; ++wi) {
-      const int r = start + wi;
-      if (r < 0 || r >= t) continue;  // zero padding
-      const float* xin = x.Row(r);
-      for (int k = 0; k < f; ++k) {
-        const float* wrow = w_.value.Row(k) + wi * in_dim_;
-        float s = 0.0f;
-        for (int d = 0; d < in_dim_; ++d) s += wrow[d] * xin[d];
-        out[k] += s;
-      }
-    }
+    std::copy(bias, bias + f, y->Row(o));
   }
+
+  // Interior rows (window fully inside x): one strided GEMM, zero copies.
+  const int interior = t - window_ + 1;
+  const int ib = padding_ == Padding::kSame ? (window_ - 1) / 2 : 0;
+  const int ie = ib + std::max(0, interior);
+  if (interior > 0) {
+    util::GemmRaw(interior, f, k_dim, 1.0f, x.data(), in_dim_,
+                  util::Trans::kNo, w_.value.data(), k_dim, util::Trans::kYes,
+                  1.0f, y->Row(ib), f);
+  }
+
+  const auto boundary_row = [&](int o) {
+    const int start = WindowStart(o);
+    const int lo = std::max(0, start);
+    const int hi = std::min(t, start + window_);
+    const int off = (lo - start) * in_dim_;
+    const int len = (hi - lo) * in_dim_;
+    const float* xr = x.Row(lo);
+    float* yr = y->Row(o);
+    for (int fi = 0; fi < f; ++fi) {
+      const float* wr = w_.value.Row(fi) + off;
+      float s = 0.0f;
+      for (int k = 0; k < len; ++k) s += xr[k] * wr[k];
+      yr[fi] += s;
+    }
+  };
+  for (int o = 0; o < std::min(ib, out_rows); ++o) boundary_row(o);
+  for (int o = ie; o < out_rows; ++o) boundary_row(o);
 }
 
 void Conv1d::Backward(const util::Matrix& x, const util::Matrix& grad_y,
                       util::Matrix* grad_x) {
   const int t = x.rows();
-  assert(grad_y.rows() == OutRows(t));
-  assert(grad_y.cols() == filters());
-  if (grad_x != nullptr) grad_x->Resize(t, in_dim_);
+  const int out_rows = grad_y.rows();
+  const int f = filters();
+  const int k_dim = window_ * in_dim_;
+  assert(out_rows == OutRows(t));
+  assert(grad_y.cols() == f);
+
+  // db += column sums of grad_y; count nonzeros on the same pass.
   float* gbias = b_.grad.Row(0);
-  for (int o = 0; o < grad_y.rows(); ++o) {
-    const int start = WindowStart(o);
+  int nnz = 0;
+  for (int o = 0; o < out_rows; ++o) {
     const float* gout = grad_y.Row(o);
-    for (int k = 0; k < filters(); ++k) gbias[k] += gout[k];
-    for (int wi = 0; wi < window_; ++wi) {
-      const int r = start + wi;
-      if (r < 0 || r >= t) continue;
-      const float* xin = x.Row(r);
-      for (int k = 0; k < filters(); ++k) {
-        const float g = gout[k];
+    for (int k = 0; k < f; ++k) {
+      gbias[k] += gout[k];
+      nnz += gout[k] != 0.0f;
+    }
+  }
+
+  const int interior = t - window_ + 1;
+  const int ib = padding_ == Padding::kSame ? (window_ - 1) / 2 : 0;
+  const int ie = ib + std::max(0, interior);
+
+  // After max-over-time pooling (the text-CNN head) grad_y is structurally
+  // sparse: at most one nonzero per filter column, further thinned by
+  // dropout. Below ~1/8 density the axpy formulation beats the dense GEMMs;
+  // the path choice depends only on the data, never on the thread count.
+  const bool sparse = static_cast<size_t>(nnz) * 8 < grad_y.size();
+  if (sparse) {
+    if (grad_x != nullptr) grad_x->Resize(t, in_dim_);
+    for (int o = 0; o < out_rows; ++o) {
+      const float* gout = grad_y.Row(o);
+      const int start = WindowStart(o);
+      const int lo = std::max(0, start);
+      const int hi = std::min(t, start + window_);
+      const int off = (lo - start) * in_dim_;
+      const int len = (hi - lo) * in_dim_;  // rows lo..hi-1 are contiguous
+      const float* xr = x.Row(lo);
+      for (int fi = 0; fi < f; ++fi) {
+        const float g = gout[fi];
         if (g == 0.0f) continue;
-        float* gw = w_.grad.Row(k) + wi * in_dim_;
-        for (int d = 0; d < in_dim_; ++d) gw[d] += g * xin[d];
-        if (grad_x != nullptr) {
-          const float* wrow = w_.value.Row(k) + wi * in_dim_;
-          float* gx = grad_x->Row(r);
-          for (int d = 0; d < in_dim_; ++d) gx[d] += g * wrow[d];
-        }
+        float* gw = w_.grad.Row(fi) + off;
+        for (int k = 0; k < len; ++k) gw[k] += g * xr[k];
+        if (grad_x == nullptr) continue;
+        const float* wr = w_.value.Row(fi) + off;
+        float* gx = grad_x->Row(lo);
+        for (int k = 0; k < len; ++k) gx[k] += g * wr[k];
       }
     }
+    return;
+  }
+
+  // Dense path. dW += grad_y^T * windows(x): interior rows through the
+  // strided GEMM, boundary rows as clipped rank-1 updates.
+  if (interior > 0) {
+    util::GemmRaw(f, k_dim, interior, 1.0f, grad_y.Row(ib), f,
+                  util::Trans::kYes, x.data(), in_dim_, util::Trans::kNo, 1.0f,
+                  w_.grad.data(), k_dim);
+  }
+  for (int o = 0; o < out_rows; ++o) {
+    if (o >= ib && o < ie) continue;
+    const float* gout = grad_y.Row(o);
+    const int start = WindowStart(o);
+    const int lo = std::max(0, start);
+    const int hi = std::min(t, start + window_);
+    const int off = (lo - start) * in_dim_;
+    const int len = (hi - lo) * in_dim_;
+    const float* xr = x.Row(lo);
+    for (int fi = 0; fi < f; ++fi) {
+      const float g = gout[fi];
+      float* gw = w_.grad.Row(fi) + off;
+      for (int k = 0; k < len; ++k) gw[k] += g * xr[k];
+    }
+  }
+  if (grad_x == nullptr) return;
+  // dWindows = grad_y * W, then scatter-add each (clipped) flattened window
+  // back onto the contiguous input rows it covers (row2im).
+  util::Gemm(1.0f, grad_y, util::Trans::kNo, w_.value, util::Trans::kNo, 0.0f,
+             &tls_grad_patches);
+  grad_x->Resize(t, in_dim_);
+  for (int o = 0; o < out_rows; ++o) {
+    const int start = WindowStart(o);
+    const int lo = std::max(0, start);
+    const int hi = std::min(t, start + window_);
+    const int off = (lo - start) * in_dim_;
+    const int len = (hi - lo) * in_dim_;
+    const float* src = tls_grad_patches.Row(o) + off;
+    float* gx = grad_x->Row(lo);
+    for (int k = 0; k < len; ++k) gx[k] += src[k];
   }
 }
 

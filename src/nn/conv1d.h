@@ -35,6 +35,10 @@ class Conv1d {
   // x: T x in_dim. y: rows depend on padding (see above), cols = filters.
   // For kValid inputs shorter than `window`, the input is implicitly
   // zero-padded at the end to `window` rows (output has exactly one row).
+  // Implemented as a strided GEMM directly over x's sliding windows (im2row
+  // without the copy), so convolutions share the blocked matrix kernel with
+  // Linear and the recurrent gate projections; safe to call concurrently
+  // from multiple threads (scratch buffers are thread-local).
   void Forward(const util::Matrix& x, util::Matrix* y) const;
 
   // Accumulates parameter grads; writes dL/dx (same shape as x) when grad_x

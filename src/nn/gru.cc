@@ -25,46 +25,64 @@ Gru::Gru(const std::string& name, int in_dim, int hidden_dim, util::Rng* rng)
   GlorotInit(rng, &uc_.value);
 }
 
+namespace {
+
+// Per-thread scratch: the input-side gate projections for the whole
+// sequence (forward) and the per-step pre-activation gradients (backward).
+// thread_local keeps const Forward safe under the parallel E-step.
+thread_local util::Matrix tls_gxz, tls_gxr, tls_gxc;
+thread_local util::Matrix tls_dz, tls_dr, tls_dc, tls_hprev, tls_rh;
+
+}  // namespace
+
 void Gru::Forward(const util::Matrix& x, Cache* cache,
                   util::Matrix* h_out) const {
   assert(x.cols() == in_dim());
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
-  cache->h.Resize(t_len, h_dim);
-  cache->z.Resize(t_len, h_dim);
-  cache->r.Resize(t_len, h_dim);
-  cache->c.Resize(t_len, h_dim);
+  cache->h.ResizeNoZero(t_len, h_dim);
+  cache->z.ResizeNoZero(t_len, h_dim);
+  cache->r.ResizeNoZero(t_len, h_dim);
+  cache->c.ResizeNoZero(t_len, h_dim);
+
+  // Input-side gate pre-activations for every timestep in one GEMM each:
+  // GX_g = X * W_g^T. Only the h x h recurrent products remain sequential.
+  util::Gemm(1.0f, x, util::Trans::kNo, wz_.value, util::Trans::kYes, 0.0f,
+             &tls_gxz);
+  util::Gemm(1.0f, x, util::Trans::kNo, wr_.value, util::Trans::kYes, 0.0f,
+             &tls_gxr);
+  util::Gemm(1.0f, x, util::Trans::kNo, wc_.value, util::Trans::kYes, 0.0f,
+             &tls_gxc);
 
   util::Vector h_prev(h_dim, 0.0f);
-  util::Vector xt(in_dim());
-  util::Vector tmp_a, tmp_b, rh(h_dim);
+  util::Vector tmp_b, rh(h_dim);
+  const float* bz = bz_.value.Row(0);
+  const float* br = br_.value.Row(0);
+  const float* bc = bc_.value.Row(0);
   for (int t = 0; t < t_len; ++t) {
-    const float* xrow = x.Row(t);
-    std::copy(xrow, xrow + in_dim(), xt.begin());
-
     float* z = cache->z.Row(t);
     float* r = cache->r.Row(t);
     float* c = cache->c.Row(t);
     float* h = cache->h.Row(t);
 
     // z_t
-    util::MatVec(wz_.value, xt, &tmp_a);
+    const float* gxz = tls_gxz.Row(t);
     util::MatVec(uz_.value, h_prev, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
-      z[k] = Sigmoid(tmp_a[k] + tmp_b[k] + bz_.value(0, k));
+      z[k] = Sigmoid(gxz[k] + tmp_b[k] + bz[k]);
     }
     // r_t
-    util::MatVec(wr_.value, xt, &tmp_a);
+    const float* gxr = tls_gxr.Row(t);
     util::MatVec(ur_.value, h_prev, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
-      r[k] = Sigmoid(tmp_a[k] + tmp_b[k] + br_.value(0, k));
+      r[k] = Sigmoid(gxr[k] + tmp_b[k] + br[k]);
     }
     // c_t
+    const float* gxc = tls_gxc.Row(t);
     for (int k = 0; k < h_dim; ++k) rh[k] = r[k] * h_prev[k];
-    util::MatVec(wc_.value, xt, &tmp_a);
     util::MatVec(uc_.value, rh, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
-      c[k] = std::tanh(tmp_a[k] + tmp_b[k] + bc_.value(0, k));
+      c[k] = std::tanh(gxc[k] + tmp_b[k] + bc[k]);
     }
     // h_t
     for (int k = 0; k < h_dim; ++k) {
@@ -80,19 +98,26 @@ void Gru::Backward(const util::Matrix& x, const Cache& cache,
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
   assert(grad_h.rows() == t_len && grad_h.cols() == h_dim);
-  if (grad_x != nullptr) grad_x->Resize(t_len, in_dim());
+
+  // The sequential sweep only resolves the recurrent coupling; the
+  // pre-activation gradients are staged per timestep and the parameter /
+  // input gradients are then computed with batched GEMMs below.
+  tls_dz.ResizeNoZero(t_len, h_dim);
+  tls_dr.ResizeNoZero(t_len, h_dim);
+  tls_dc.ResizeNoZero(t_len, h_dim);
+  tls_hprev.ResizeNoZero(t_len, h_dim);  // row t = h_{t-1} (zeros at t=0)
+  tls_rh.ResizeNoZero(t_len, h_dim);     // row t = r_t . h_{t-1}
 
   util::Vector dh_next(h_dim, 0.0f);
   util::Vector dh(h_dim), dz_pre(h_dim), dr_pre(h_dim), dc_pre(h_dim);
-  util::Vector drh(h_dim), xt(in_dim()), h_prev(h_dim), tmp;
+  util::Vector drh(h_dim), tmp;
   for (int t = t_len - 1; t >= 0; --t) {
-    const float* xrow = x.Row(t);
-    std::copy(xrow, xrow + in_dim(), xt.begin());
+    float* h_prev = tls_hprev.Row(t);
     if (t > 0) {
       const float* hp = cache.h.Row(t - 1);
-      std::copy(hp, hp + h_dim, h_prev.begin());
+      std::copy(hp, hp + h_dim, h_prev);
     } else {
-      std::fill(h_prev.begin(), h_prev.end(), 0.0f);
+      std::fill(h_prev, h_prev + h_dim, 0.0f);
     }
     const float* z = cache.z.Row(t);
     const float* r = cache.r.Row(t);
@@ -111,11 +136,8 @@ void Gru::Backward(const util::Matrix& x, const Cache& cache,
     }
 
     // Candidate branch: c = tanh(Wc x + Uc (r.h_prev) + bc).
-    util::Vector rh(h_dim);
+    float* rh = tls_rh.Row(t);
     for (int k = 0; k < h_dim; ++k) rh[k] = r[k] * h_prev[k];
-    util::OuterAdd(dc_pre, xt, 1.0f, &wc_.grad);
-    util::OuterAdd(dc_pre, rh, 1.0f, &uc_.grad);
-    for (int k = 0; k < h_dim; ++k) bc_.grad(0, k) += dc_pre[k];
     util::MatVecTrans(uc_.value, dc_pre, &drh);
     for (int k = 0; k < h_dim; ++k) {
       const float drk = drh[k] * h_prev[k];
@@ -123,29 +145,52 @@ void Gru::Backward(const util::Matrix& x, const Cache& cache,
       dr_pre[k] = drk * r[k] * (1.0f - r[k]);
     }
 
-    // Gate branches.
-    util::OuterAdd(dz_pre, xt, 1.0f, &wz_.grad);
-    util::OuterAdd(dz_pre, h_prev, 1.0f, &uz_.grad);
-    util::OuterAdd(dr_pre, xt, 1.0f, &wr_.grad);
-    util::OuterAdd(dr_pre, h_prev, 1.0f, &ur_.grad);
-    for (int k = 0; k < h_dim; ++k) {
-      bz_.grad(0, k) += dz_pre[k];
-      br_.grad(0, k) += dr_pre[k];
-    }
+    // Gate branches: the recurrent coupling into dL/dh_{t-1}.
     util::MatVecTrans(uz_.value, dz_pre, &tmp);
     for (int k = 0; k < h_dim; ++k) dh_next[k] += tmp[k];
     util::MatVecTrans(ur_.value, dr_pre, &tmp);
     for (int k = 0; k < h_dim; ++k) dh_next[k] += tmp[k];
 
-    if (grad_x != nullptr) {
-      float* gx = grad_x->Row(t);
-      util::MatVecTrans(wz_.value, dz_pre, &tmp);
-      for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
-      util::MatVecTrans(wr_.value, dr_pre, &tmp);
-      for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
-      util::MatVecTrans(wc_.value, dc_pre, &tmp);
-      for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
+    std::copy(dz_pre.begin(), dz_pre.end(), tls_dz.Row(t));
+    std::copy(dr_pre.begin(), dr_pre.end(), tls_dr.Row(t));
+    std::copy(dc_pre.begin(), dc_pre.end(), tls_dc.Row(t));
+  }
+
+  // Parameter gradients, batched over the whole sequence.
+  util::Gemm(1.0f, tls_dz, util::Trans::kYes, x, util::Trans::kNo, 1.0f,
+             &wz_.grad);
+  util::Gemm(1.0f, tls_dz, util::Trans::kYes, tls_hprev, util::Trans::kNo,
+             1.0f, &uz_.grad);
+  util::Gemm(1.0f, tls_dr, util::Trans::kYes, x, util::Trans::kNo, 1.0f,
+             &wr_.grad);
+  util::Gemm(1.0f, tls_dr, util::Trans::kYes, tls_hprev, util::Trans::kNo,
+             1.0f, &ur_.grad);
+  util::Gemm(1.0f, tls_dc, util::Trans::kYes, x, util::Trans::kNo, 1.0f,
+             &wc_.grad);
+  util::Gemm(1.0f, tls_dc, util::Trans::kYes, tls_rh, util::Trans::kNo, 1.0f,
+             &uc_.grad);
+  float* gbz = bz_.grad.Row(0);
+  float* gbr = br_.grad.Row(0);
+  float* gbc = bc_.grad.Row(0);
+  for (int t = 0; t < t_len; ++t) {
+    const float* dz = tls_dz.Row(t);
+    const float* dr = tls_dr.Row(t);
+    const float* dc = tls_dc.Row(t);
+    for (int k = 0; k < h_dim; ++k) {
+      gbz[k] += dz[k];
+      gbr[k] += dr[k];
+      gbc[k] += dc[k];
     }
+  }
+
+  if (grad_x != nullptr) {
+    // dX = dZ Wz + dR Wr + dC Wc.
+    util::Gemm(1.0f, tls_dz, util::Trans::kNo, wz_.value, util::Trans::kNo,
+               0.0f, grad_x);
+    util::Gemm(1.0f, tls_dr, util::Trans::kNo, wr_.value, util::Trans::kNo,
+               1.0f, grad_x);
+    util::Gemm(1.0f, tls_dc, util::Trans::kNo, wc_.value, util::Trans::kNo,
+               1.0f, grad_x);
   }
 }
 

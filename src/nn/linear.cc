@@ -40,10 +40,9 @@ void Linear::Backward(const util::Vector& x, const util::Vector& grad_y,
 void Linear::BackwardRows(const util::Matrix& x, const util::Matrix& grad_y,
                           util::Matrix* grad_x) {
   assert(x.rows() == grad_y.rows());
-  // dW = grad_y^T * x ; accumulate.
-  util::Matrix dw;
-  util::MatMulTransA(grad_y, x, &dw);
-  w_.grad.AddScaled(dw, 1.0f);
+  // dW += grad_y^T * x, accumulated in place by the beta=1 GEMM (no temp).
+  util::Gemm(1.0f, grad_y, util::Trans::kYes, x, util::Trans::kNo, 1.0f,
+             &w_.grad);
   float* gb = b_.grad.Row(0);
   for (int r = 0; r < grad_y.rows(); ++r) {
     const float* row = grad_y.Row(r);

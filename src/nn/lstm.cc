@@ -33,41 +33,58 @@ Lstm::Lstm(const std::string& name, int in_dim, int hidden_dim,
   for (int k = 0; k < hidden_dim; ++k) bf_.value(0, k) = 1.0f;
 }
 
+namespace {
+
+// Per-thread scratch (see gru.cc for the rationale).
+thread_local util::Matrix tls_gxi, tls_gxf, tls_gxo, tls_gxg;
+thread_local util::Matrix tls_di, tls_df, tls_do, tls_dg, tls_hprev;
+
+}  // namespace
+
 void Lstm::Forward(const util::Matrix& x, Cache* cache,
                    util::Matrix* h_out) const {
   assert(x.cols() == in_dim());
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
-  cache->h.Resize(t_len, h_dim);
-  cache->c.Resize(t_len, h_dim);
-  cache->i.Resize(t_len, h_dim);
-  cache->f.Resize(t_len, h_dim);
-  cache->o.Resize(t_len, h_dim);
-  cache->g.Resize(t_len, h_dim);
+  cache->h.ResizeNoZero(t_len, h_dim);
+  cache->c.ResizeNoZero(t_len, h_dim);
+  cache->i.ResizeNoZero(t_len, h_dim);
+  cache->f.ResizeNoZero(t_len, h_dim);
+  cache->o.ResizeNoZero(t_len, h_dim);
+  cache->g.ResizeNoZero(t_len, h_dim);
+
+  // Input-side pre-activations for all four gates, one GEMM per gate.
+  util::Gemm(1.0f, x, util::Trans::kNo, wi_.value, util::Trans::kYes, 0.0f,
+             &tls_gxi);
+  util::Gemm(1.0f, x, util::Trans::kNo, wf_.value, util::Trans::kYes, 0.0f,
+             &tls_gxf);
+  util::Gemm(1.0f, x, util::Trans::kNo, wo_.value, util::Trans::kYes, 0.0f,
+             &tls_gxo);
+  util::Gemm(1.0f, x, util::Trans::kNo, wg_.value, util::Trans::kYes, 0.0f,
+             &tls_gxg);
 
   util::Vector h_prev(h_dim, 0.0f), c_prev(h_dim, 0.0f);
-  util::Vector xt(in_dim()), a, b;
-  auto gate = [&](const Parameter& w, const Parameter& u,
-                  const Parameter& bias, float* out, bool tanh_act) {
-    util::MatVec(w.value, xt, &a);
+  util::Vector b;
+  auto gate = [&](const Parameter& u, const Parameter& bias, const float* gx,
+                  float* out, bool tanh_act) {
     util::MatVec(u.value, h_prev, &b);
+    const float* bv = bias.value.Row(0);
     for (int k = 0; k < h_dim; ++k) {
-      const float pre = a[k] + b[k] + bias.value(0, k);
+      const float pre = gx[k] + b[k] + bv[k];
       out[k] = tanh_act ? std::tanh(pre) : Sigmoid(pre);
     }
   };
   for (int t = 0; t < t_len; ++t) {
-    std::copy(x.Row(t), x.Row(t) + in_dim(), xt.begin());
     float* i = cache->i.Row(t);
     float* f = cache->f.Row(t);
     float* o = cache->o.Row(t);
     float* g = cache->g.Row(t);
     float* c = cache->c.Row(t);
     float* h = cache->h.Row(t);
-    gate(wi_, ui_, bi_, i, false);
-    gate(wf_, uf_, bf_, f, false);
-    gate(wo_, uo_, bo_, o, false);
-    gate(wg_, ug_, bg_, g, true);
+    gate(ui_, bi_, tls_gxi.Row(t), i, false);
+    gate(uf_, bf_, tls_gxf.Row(t), f, false);
+    gate(uo_, bo_, tls_gxo.Row(t), o, false);
+    gate(ug_, bg_, tls_gxg.Row(t), g, true);
     for (int k = 0; k < h_dim; ++k) {
       c[k] = f[k] * c_prev[k] + i[k] * g[k];
       h[k] = o[k] * std::tanh(c[k]);
@@ -83,20 +100,23 @@ void Lstm::Backward(const util::Matrix& x, const Cache& cache,
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
   assert(grad_h.rows() == t_len && grad_h.cols() == h_dim);
-  if (grad_x != nullptr) grad_x->Resize(t_len, in_dim());
+
+  tls_di.ResizeNoZero(t_len, h_dim);
+  tls_df.ResizeNoZero(t_len, h_dim);
+  tls_do.ResizeNoZero(t_len, h_dim);
+  tls_dg.ResizeNoZero(t_len, h_dim);
+  tls_hprev.ResizeNoZero(t_len, h_dim);
 
   util::Vector dh_next(h_dim, 0.0f), dc_next(h_dim, 0.0f);
-  util::Vector di_pre(h_dim), df_pre(h_dim), do_pre(h_dim), dg_pre(h_dim);
-  util::Vector xt(in_dim()), h_prev(h_dim), c_prev(h_dim), tmp;
+  util::Vector d_pre(h_dim), c_prev(h_dim), tmp;
   for (int t = t_len - 1; t >= 0; --t) {
-    std::copy(x.Row(t), x.Row(t) + in_dim(), xt.begin());
+    float* h_prev = tls_hprev.Row(t);
     if (t > 0) {
-      std::copy(cache.h.Row(t - 1), cache.h.Row(t - 1) + h_dim,
-                h_prev.begin());
+      std::copy(cache.h.Row(t - 1), cache.h.Row(t - 1) + h_dim, h_prev);
       std::copy(cache.c.Row(t - 1), cache.c.Row(t - 1) + h_dim,
                 c_prev.begin());
     } else {
-      std::fill(h_prev.begin(), h_prev.end(), 0.0f);
+      std::fill(h_prev, h_prev + h_dim, 0.0f);
       std::fill(c_prev.begin(), c_prev.end(), 0.0f);
     }
     const float* i = cache.i.Row(t);
@@ -106,6 +126,10 @@ void Lstm::Backward(const util::Matrix& x, const Cache& cache,
     const float* c = cache.c.Row(t);
     const float* gh = grad_h.Row(t);
 
+    float* di_pre = tls_di.Row(t);
+    float* df_pre = tls_df.Row(t);
+    float* do_pre = tls_do.Row(t);
+    float* dg_pre = tls_dg.Row(t);
     for (int k = 0; k < h_dim; ++k) {
       const float dh = gh[k] + dh_next[k];
       const float tanh_c = std::tanh(c[k]);
@@ -121,28 +145,42 @@ void Lstm::Backward(const util::Matrix& x, const Cache& cache,
       dg_pre[k] = dgk * (1.0f - g[k] * g[k]);
     }
 
-    struct GateGrad {
-      Parameter* w;
-      Parameter* u;
-      Parameter* b;
-      const util::Vector* d_pre;
-    };
-    const GateGrad gates[] = {{&wi_, &ui_, &bi_, &di_pre},
-                              {&wf_, &uf_, &bf_, &df_pre},
-                              {&wo_, &uo_, &bo_, &do_pre},
-                              {&wg_, &ug_, &bg_, &dg_pre}};
+    // Recurrent coupling into dL/dh_{t-1}: dh_next = sum_g U_g^T d_pre_g.
     std::fill(dh_next.begin(), dh_next.end(), 0.0f);
-    for (const GateGrad& gg : gates) {
-      util::OuterAdd(*gg.d_pre, xt, 1.0f, &gg.w->grad);
-      util::OuterAdd(*gg.d_pre, h_prev, 1.0f, &gg.u->grad);
-      for (int k = 0; k < h_dim; ++k) gg.b->grad(0, k) += (*gg.d_pre)[k];
-      util::MatVecTrans(gg.u->value, *gg.d_pre, &tmp);
+    const Parameter* const us[] = {&ui_, &uf_, &uo_, &ug_};
+    const float* const d_pres[] = {di_pre, df_pre, do_pre, dg_pre};
+    for (int gi = 0; gi < 4; ++gi) {
+      d_pre.assign(d_pres[gi], d_pres[gi] + h_dim);
+      util::MatVecTrans(us[gi]->value, d_pre, &tmp);
       for (int k = 0; k < h_dim; ++k) dh_next[k] += tmp[k];
-      if (grad_x != nullptr) {
-        util::MatVecTrans(gg.w->value, *gg.d_pre, &tmp);
-        float* gx = grad_x->Row(t);
-        for (int d = 0; d < in_dim(); ++d) gx[d] += tmp[d];
-      }
+    }
+  }
+
+  // Parameter and input gradients, batched over the whole sequence.
+  const struct {
+    Parameter* w;
+    Parameter* u;
+    Parameter* b;
+    util::Matrix* d_pre;
+  } gates[] = {{&wi_, &ui_, &bi_, &tls_di},
+               {&wf_, &uf_, &bf_, &tls_df},
+               {&wo_, &uo_, &bo_, &tls_do},
+               {&wg_, &ug_, &bg_, &tls_dg}};
+  bool first = true;
+  for (const auto& gg : gates) {
+    util::Gemm(1.0f, *gg.d_pre, util::Trans::kYes, x, util::Trans::kNo, 1.0f,
+               &gg.w->grad);
+    util::Gemm(1.0f, *gg.d_pre, util::Trans::kYes, tls_hprev,
+               util::Trans::kNo, 1.0f, &gg.u->grad);
+    float* gb = gg.b->grad.Row(0);
+    for (int t = 0; t < t_len; ++t) {
+      const float* dp = gg.d_pre->Row(t);
+      for (int k = 0; k < h_dim; ++k) gb[k] += dp[k];
+    }
+    if (grad_x != nullptr) {
+      util::Gemm(1.0f, *gg.d_pre, util::Trans::kNo, gg.w->value,
+                 util::Trans::kNo, first ? 0.0f : 1.0f, grad_x);
+      first = false;
     }
   }
 }

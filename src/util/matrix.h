@@ -1,6 +1,7 @@
 #ifndef LNCL_UTIL_MATRIX_H_
 #define LNCL_UTIL_MATRIX_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>
@@ -46,11 +47,27 @@ class Matrix {
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
   void Zero() { Fill(0.0f); }
 
-  // Resizes to rows x cols, zero-filling. Existing contents are discarded.
+  // Resizes to rows x cols, zero-filling. Existing contents are discarded,
+  // but the allocation is kept whenever the new shape fits the existing
+  // capacity, so layers that reuse a scratch matrix across calls stop
+  // paying a heap round-trip per Forward.
   void Resize(int rows, int cols) {
+    ResizeNoZero(rows, cols);
+    std::fill(data_.begin(), data_.end(), 0.0f);
+  }
+
+  // Resizes without initializing the contents (old values, if any, are
+  // garbage with respect to the new shape). For outputs that are fully
+  // overwritten, e.g. by a beta=0 Gemm.
+  void ResizeNoZero(int rows, int cols) {
+    assert(rows >= 0 && cols >= 0);
     rows_ = rows;
     cols_ = cols;
-    data_.assign(static_cast<size_t>(rows) * cols, 0.0f);
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
+  void Reserve(int rows, int cols) {
+    data_.reserve(static_cast<size_t>(rows) * cols);
   }
 
   // this += alpha * other (same shape).
@@ -70,6 +87,33 @@ class Matrix {
 
 // Dense float vector with the same conventions as Matrix.
 using Vector = std::vector<float>;
+
+// Whether a Gemm operand is transposed.
+enum class Trans { kNo, kYes };
+
+// General matrix multiply, the single optimized entry point every dense
+// kernel funnels through:
+//
+//   C = alpha * op(A) * op(B) + beta * C
+//
+// with op(X) = X or X^T per the Trans flags. When beta == 0, C is resized to
+// the product shape and fully overwritten (its previous contents, including
+// NaNs, are ignored); otherwise C must already have the product shape.
+// The implementation is cache-blocked and register-unrolled; it assumes
+// dense operands (no zero-skipping branches).
+void Gemm(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
+          Trans trans_b, float beta, Matrix* c);
+
+// Raw-pointer Gemm for operands that are strided views into larger buffers
+// (e.g. the sliding windows of a 1-D convolution, which form an m x k
+// operand over x with lda = in_dim and no copying). op(A) is m x k, op(B) is
+// k x n, C is m x n; each operand's rows are `ld` floats apart in storage,
+// with the transpose applying to the logical operand: op(A)(i, kk) is
+// a[i * lda + kk] for kNo and a[kk * lda + i] for kYes. The caller owns all
+// shape checking; C is never resized (use beta = 0 to overwrite).
+void GemmRaw(int m, int n, int k, float alpha, const float* a, int lda,
+             Trans trans_a, const float* b, int ldb, Trans trans_b, float beta,
+             float* c, int ldc);
 
 // out = a (rows_a x k) * b (k x cols_b). out is resized.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);

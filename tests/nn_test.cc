@@ -425,6 +425,95 @@ TEST(Conv1dTest, InputGradientFlows) {
   EXPECT_GT(grad_x.SquaredNorm(), 0.0);
 }
 
+namespace {
+
+// Brute-force conv backward: per output row, per filter, loop over the
+// clipped window. Oblivious to the sparse/dense path split in Conv1d.
+void NaiveConvBackward(const Conv1d& conv, const Matrix& x,
+                       const Matrix& grad_y, const Matrix& w, Matrix* grad_w,
+                       Matrix* grad_b, Matrix* grad_x) {
+  const int t = x.rows();
+  const int window = conv.window();
+  const int d = conv.in_dim();
+  const int f = conv.filters();
+  const int pad_left =
+      conv.padding() == Conv1d::Padding::kSame ? (window - 1) / 2 : 0;
+  grad_w->Resize(f, window * d);
+  grad_b->Resize(1, f);
+  grad_x->Resize(t, d);
+  for (int o = 0; o < grad_y.rows(); ++o) {
+    const int start = o - pad_left;
+    for (int fi = 0; fi < f; ++fi) {
+      const float g = grad_y(o, fi);
+      (*grad_b)(0, fi) += g;
+      for (int wr = 0; wr < window; ++wr) {
+        const int row = start + wr;
+        if (row < 0 || row >= t) continue;
+        for (int c = 0; c < d; ++c) {
+          (*grad_w)(fi, wr * d + c) += g * x(row, c);
+          (*grad_x)(row, c) += g * w(fi, wr * d + c);
+        }
+      }
+    }
+  }
+}
+
+void ExpectMatrixNear(const Matrix& got, const Matrix& want, float tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (int r = 0; r < got.rows(); ++r) {
+    for (int c = 0; c < got.cols(); ++c) {
+      EXPECT_NEAR(got(r, c), want(r, c), tol) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace
+
+class Conv1dBackwardPathTest
+    : public testing::TestWithParam<Conv1d::Padding> {};
+
+TEST_P(Conv1dBackwardPathTest, SparseAndDensePathsMatchBruteForce) {
+  // Conv1d::Backward picks an axpy formulation when grad_y is sparse enough
+  // (the max-over-time-pooling case: at most one nonzero per filter column)
+  // and dense GEMMs otherwise. Both paths must agree with the brute-force
+  // reference on the same layer.
+  const Conv1d::Padding padding = GetParam();
+  Rng rng(99);
+  const int t = 10, d = 4, window = 3, f = 6;
+  Conv1d conv("c", window, d, f, padding, &rng);
+  const Matrix x = RandomMatrix(t, d, &rng);
+  Matrix y;
+  conv.Forward(x, &y);
+
+  // Sparse grad_y: exactly one surviving row per filter column, like the
+  // gradient arriving through max-over-time pooling.
+  Matrix sparse_gy(y.rows(), f);
+  for (int fi = 0; fi < f; ++fi) {
+    sparse_gy(rng.UniformInt(0, y.rows() - 1), fi) =
+        static_cast<float>(rng.Gaussian(0.0, 1.0));
+  }
+  // Dense grad_y: every entry nonzero.
+  Matrix dense_gy = RandomMatrix(y.rows(), f, &rng);
+
+  for (const Matrix* gy : {&sparse_gy, &dense_gy}) {
+    ZeroGrads(conv.Params());
+    Matrix grad_x;
+    conv.Backward(x, *gy, &grad_x);
+
+    Matrix want_w, want_b, want_x;
+    NaiveConvBackward(conv, x, *gy, conv.Params()[0]->value, &want_w, &want_b,
+                      &want_x);
+    ExpectMatrixNear(conv.Params()[0]->grad, want_w, 1e-4f);
+    ExpectMatrixNear(conv.Params()[1]->grad, want_b, 1e-4f);
+    ExpectMatrixNear(grad_x, want_x, 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paddings, Conv1dBackwardPathTest,
+                         testing::Values(Conv1d::Padding::kValid,
+                                         Conv1d::Padding::kSame));
+
 TEST(GruTest, GradientCheckParameters) {
   Rng rng(41);
   Gru gru("gru", 3, 4, &rng);

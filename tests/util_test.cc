@@ -4,6 +4,8 @@
 #include <cmath>
 #include <algorithm>
 #include <fstream>
+#include <limits>
+#include <mutex>
 #include <sstream>
 
 #include "util/chain.h"
@@ -585,6 +587,240 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(64);
   ThreadPool::ParallelFor(64, 8, [&hits](int i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelRunCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelRun(257, [&hits](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool is reusable afterwards.
+  std::atomic<int> counter{0};
+  pool.ParallelRun(10, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelRunHandlesEmptyAndSingle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelRun(0, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  pool.ParallelRun(1, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// ---------------------------------------------------------- Parallelizer --
+
+TEST(ParallelizerTest, SlotRangePartitionsExactly) {
+  for (int n : {0, 1, 7, 8, 9, 63, 64, 100}) {
+    int covered = 0;
+    int prev_end = 0;
+    for (int s = 0; s < Parallelizer::kSlots; ++s) {
+      const auto [b, e] = Parallelizer::SlotRange(n, s, Parallelizer::kSlots);
+      EXPECT_EQ(b, prev_end) << "gap before slot " << s << " for n=" << n;
+      EXPECT_LE(b, e);
+      // Balanced: slot sizes differ by at most one.
+      EXPECT_LE(e - b, n / Parallelizer::kSlots + 1);
+      covered += e - b;
+      prev_end = e;
+    }
+    EXPECT_EQ(covered, n);
+    EXPECT_EQ(prev_end, n);
+  }
+}
+
+TEST(ParallelizerTest, RunSlotsVisitsEachSlotOnceAnyThreadCount) {
+  for (int threads : {1, 2, 8}) {
+    Parallelizer exec(threads);
+    std::vector<std::atomic<int>> hits(Parallelizer::kSlots);
+    exec.RunSlots(Parallelizer::kSlots,
+                  [&hits](int s) { hits[s].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelizerTest, SlotPartitionIndependentOfThreadCount) {
+  // The determinism contract: the slot -> index-range mapping is a pure
+  // function of (n, kSlots), never of the thread count.
+  const int n = 37;
+  auto gather = [&](int threads) {
+    Parallelizer exec(threads);
+    std::vector<int> owner(n, -1);
+    std::mutex mu;
+    exec.RunSlots(Parallelizer::kSlots, [&](int s) {
+      const auto [b, e] = Parallelizer::SlotRange(n, s, Parallelizer::kSlots);
+      std::lock_guard<std::mutex> lock(mu);
+      for (int i = b; i < e; ++i) owner[i] = s;
+    });
+    return owner;
+  };
+  EXPECT_EQ(gather(1), gather(4));
+}
+
+// ------------------------------------------------------------------ Gemm --
+
+namespace {
+
+// Double-accumulated reference, oblivious to blocking and unrolling.
+Matrix NaiveGemm(float alpha, const Matrix& a, Trans ta, const Matrix& b,
+                 Trans tb, float beta, const Matrix& c0) {
+  const int m = ta == Trans::kNo ? a.rows() : a.cols();
+  const int k = ta == Trans::kNo ? a.cols() : a.rows();
+  const int n = tb == Trans::kNo ? b.cols() : b.rows();
+  Matrix c(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = ta == Trans::kNo ? a(i, kk) : a(kk, i);
+        const float bv = tb == Trans::kNo ? b(kk, j) : b(j, kk);
+        acc += static_cast<double>(av) * bv;
+      }
+      const float prior = beta == 0.0f ? 0.0f : beta * c0(i, j);
+      c(i, j) = static_cast<float>(alpha * acc) + prior;
+    }
+  }
+  return c;
+}
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Gaussian(0.0, 1.0);
+  }
+  return m;
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, float tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (int r = 0; r < got.rows(); ++r) {
+    for (int c = 0; c < got.cols(); ++c) {
+      EXPECT_NEAR(got(r, c), want(r, c), tol) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(GemmTest, MatchesNaiveAcrossShapesTransposesAndBetas) {
+  Rng rng(1234);
+  // Shapes chosen to hit the kNc=128 column blocking, the k-unroll remainder,
+  // and the degenerate edges (1xN, Nx1, empty m/n, k=0).
+  const int shapes[][3] = {{3, 5, 4},   {1, 7, 9},   {7, 1, 9},  {9, 7, 1},
+                           {2, 130, 3}, {130, 2, 5}, {4, 6, 133}, {17, 31, 29},
+                           {0, 5, 4},   {5, 0, 4},   {5, 4, 0}};
+  for (const auto& s : shapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    for (Trans ta : {Trans::kNo, Trans::kYes}) {
+      for (Trans tb : {Trans::kNo, Trans::kYes}) {
+        for (float beta : {0.0f, 1.0f, 0.5f}) {
+          const Matrix a = ta == Trans::kNo ? RandomMatrix(m, k, &rng)
+                                            : RandomMatrix(k, m, &rng);
+          const Matrix b = tb == Trans::kNo ? RandomMatrix(k, n, &rng)
+                                            : RandomMatrix(n, k, &rng);
+          const Matrix c0 = RandomMatrix(m, n, &rng);
+          const float alpha = 0.75f;
+          Matrix c = c0;
+          Gemm(alpha, a, ta, b, tb, beta, &c);
+          const Matrix want = NaiveGemm(alpha, a, ta, b, tb, beta, c0);
+          const float tol = 1e-4f * (k + 1);
+          ExpectNear(c, want, tol);
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmTest, BetaZeroResizesAndIgnoresGarbage) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(3, 4, &rng);
+  const Matrix b = RandomMatrix(4, 6, &rng);
+  Matrix c(9, 9, std::numeric_limits<float>::quiet_NaN());
+  Gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, &c);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 6);
+  const Matrix want = NaiveGemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  ExpectNear(c, want, 1e-4f);
+}
+
+TEST(GemmTest, LegacyWrappersAgreeWithGemm) {
+  Rng rng(6);
+  const Matrix a = RandomMatrix(5, 7, &rng);
+  const Matrix b = RandomMatrix(7, 3, &rng);
+  Matrix out;
+  MatMul(a, b, &out);
+  ExpectNear(out, NaiveGemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, out),
+             1e-4f);
+}
+
+TEST(GemmRawTest, StridedViewMatchesMaterializedCopy) {
+  // The conv use case: the sliding windows of a row-major T x D input are an
+  // (out_rows x window*D) operand with lda = D. Multiplying that view against
+  // the filter bank must match the same product over materialized patches.
+  Rng rng(7);
+  const int t = 12, d = 5, window = 3, f = 4;
+  const int out_rows = t - window + 1;
+  const int k_dim = window * d;
+  const Matrix x = RandomMatrix(t, d, &rng);
+  const Matrix w = RandomMatrix(f, k_dim, &rng);
+
+  Matrix patches(out_rows, k_dim);
+  for (int o = 0; o < out_rows; ++o) {
+    for (int k = 0; k < k_dim; ++k) patches(o, k) = x(o + k / d, k % d);
+  }
+  Matrix want;
+  Gemm(1.0f, patches, Trans::kNo, w, Trans::kYes, 0.0f, &want);
+
+  Matrix got(out_rows, f);
+  GemmRaw(out_rows, f, k_dim, 1.0f, x.data(), d, Trans::kNo, w.data(), k_dim,
+          Trans::kYes, 0.0f, got.data(), f);
+  ExpectNear(got, want, 1e-4f);
+}
+
+TEST(GemmRawTest, StridedOutputWritesOnlyTheView) {
+  // C with ldc wider than n: columns outside the view must be untouched.
+  Rng rng(8);
+  const Matrix a = RandomMatrix(3, 4, &rng);
+  const Matrix b = RandomMatrix(4, 2, &rng);
+  Matrix c(3, 5, 9.0f);
+  GemmRaw(3, 2, 4, 1.0f, a.data(), 4, Trans::kNo, b.data(), 2, Trans::kNo,
+          0.0f, c.data(), 5);
+  Matrix want;
+  Gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, &want);
+  for (int r = 0; r < 3; ++r) {
+    for (int col = 0; col < 2; ++col) {
+      EXPECT_NEAR(c(r, col), want(r, col), 1e-4f);
+    }
+    for (int col = 2; col < 5; ++col) EXPECT_EQ(c(r, col), 9.0f);
+  }
+}
+
+// -------------------------------------------------------- Resize capacity --
+
+TEST(MatrixTest, ResizeReusesAllocationWhenShapeFits) {
+  Matrix m(16, 16);
+  const float* p = m.data();
+  m.Resize(4, 8);  // shrink: must not reallocate
+  EXPECT_EQ(m.data(), p);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 8);
+  m.Resize(16, 16);  // regrow within original capacity: still no realloc
+  EXPECT_EQ(m.data(), p);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) EXPECT_EQ(m(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, ResizeNoZeroKeepsShapeButSkipsFill) {
+  Matrix m(2, 3, 7.0f);
+  m.ResizeNoZero(3, 2);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.size(), 6u);
+  m.Resize(1, 2);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
 }
 
 }  // namespace
