@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "util/threadpool.h"
@@ -199,6 +200,64 @@ void EmitTable(util::Table* table, const std::string& id) {
   if (table->WriteCsv(path)) {
     std::cout << "[csv written to " << path << "]\n";
   }
+}
+
+void PrintPhaseSeconds(const std::string& label,
+                       const core::PhaseSeconds& phases) {
+  std::cout << label << ": total " << util::FormatFixed(phases.total, 2)
+            << "s  (m_step " << util::FormatFixed(phases.m_step, 2)
+            << "s, confusion " << util::FormatFixed(phases.confusion, 2)
+            << "s, e_step " << util::FormatFixed(phases.e_step, 2)
+            << "s, dev_eval " << util::FormatFixed(phases.dev_eval, 2)
+            << "s)\n";
+}
+
+namespace {
+void WriteFitJson(std::ostream& os, const TimedFit& fit) {
+  const core::PhaseSeconds& p = fit.result.phase_seconds;
+  os << "    {\"mode\": \"" << fit.mode << "\", "
+     << "\"fit_seconds\": " << util::FormatFixed(p.total, 4) << ", "
+     << "\"epochs_run\": " << fit.result.epochs_run << ", "
+     << "\"phase_seconds\": {"
+     << "\"m_step\": " << util::FormatFixed(p.m_step, 4) << ", "
+     << "\"confusion\": " << util::FormatFixed(p.confusion, 4) << ", "
+     << "\"e_step\": " << util::FormatFixed(p.e_step, 4) << ", "
+     << "\"dev_eval\": " << util::FormatFixed(p.dev_eval, 4) << "}}";
+}
+}  // namespace
+
+void EmitBenchJson(const std::string& id, double bench_seconds,
+                   const std::vector<TimedFit>& fits) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/BENCH_" + id + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cout << "[failed to open " << path << "]\n";
+    return;
+  }
+  os << "{\n  \"bench\": \"" << id << "\",\n"
+     << "  \"bench_seconds\": " << util::FormatFixed(bench_seconds, 4)
+     << ",\n  \"timed_fits\": [\n";
+  for (size_t i = 0; i < fits.size(); ++i) {
+    WriteFitJson(os, fits[i]);
+    os << (i + 1 < fits.size() ? ",\n" : "\n");
+  }
+  os << "  ]";
+  double batched = 0.0, per_instance = 0.0;
+  for (const TimedFit& fit : fits) {
+    if (fit.mode == "batched") batched = fit.result.phase_seconds.total;
+    if (fit.mode == "per_instance") {
+      per_instance = fit.result.phase_seconds.total;
+    }
+  }
+  if (batched > 0.0 && per_instance > 0.0) {
+    os << ",\n  \"speedup_end_to_end\": "
+       << util::FormatFixed(per_instance / batched, 3);
+    std::cout << "end-to-end fit speedup (per_instance / batched): "
+              << util::FormatFixed(per_instance / batched, 2) << "x\n";
+  }
+  os << "\n}\n";
+  std::cout << "[bench json written to " << path << "]\n";
 }
 
 }  // namespace lncl::bench

@@ -104,6 +104,26 @@ void PrintConfigBanner(const std::string& bench, const Scale& scale,
 // under the current working directory).
 void EmitTable(util::Table* table, const std::string& id);
 
+// One end-to-end Logic-LNCL fit timed under a prediction-pipeline mode:
+// "batched" = LogicLnclConfig.batch_predict on (length-bucketed PredictBatch
+// for the E-step, projection, and dev eval), "per_instance" = the legacy
+// one-Predict-per-instance pipeline (the pre-batching baseline).
+struct TimedFit {
+  std::string mode;
+  core::LogicLnclResult result;
+};
+
+// One-line wall-clock breakdown of a fit (phase_seconds).
+void PrintPhaseSeconds(const std::string& label,
+                       const core::PhaseSeconds& phases);
+
+// Writes results/BENCH_<id>.json: the bench-wide wall time plus, per timed
+// fit, the end-to-end Fit seconds and the per-phase breakdown. When both a
+// "batched" and a "per_instance" fit are present, also records their
+// end-to-end speedup (per_instance total / batched total).
+void EmitBenchJson(const std::string& id, double bench_seconds,
+                   const std::vector<TimedFit>& fits);
+
 }  // namespace lncl::bench
 
 #endif  // LNCL_BENCH_BENCH_COMMON_H_

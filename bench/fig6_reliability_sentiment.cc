@@ -46,7 +46,10 @@ void Run(int argc, char** argv) {
       SentimentModelConfig(), setup.corpus.embeddings)(&rng);
   core::SentimentButRule rule(model.get(), setup.corpus.but_token);
   core::LogicLncl learner(SentimentLnclConfig(scale), std::move(model), &rule);
-  learner.Fit(setup.corpus.train, setup.annotations, setup.corpus.dev, &rng);
+  const core::LogicLnclResult fit =
+      learner.Fit(setup.corpus.train, setup.annotations, setup.corpus.dev,
+                  &rng);
+  PrintPhaseSeconds("Logic-LNCL fit", fit.phase_seconds);
 
   const crowd::ConfusionSet empirical =
       crowd::EmpiricalConfusions(setup.annotations, setup.corpus.train);

@@ -57,7 +57,10 @@ void Run(int argc, char** argv) {
       NerLnclConfig(scale),
       models::NerTagger::Factory(NerModelConfig(), setup.corpus.embeddings),
       projector.get());
-  learner.Fit(setup.corpus.train, setup.annotations, setup.corpus.dev, &rng);
+  const core::LogicLnclResult fit =
+      learner.Fit(setup.corpus.train, setup.annotations, setup.corpus.dev,
+                  &rng);
+  PrintPhaseSeconds("Logic-LNCL fit", fit.phase_seconds);
 
   const crowd::ConfusionSet empirical =
       crowd::EmpiricalConfusions(setup.annotations, setup.corpus.train);

@@ -19,6 +19,7 @@
 #include "models/logreg.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -43,6 +44,7 @@ class Collector {
 };
 
 void Run(int argc, char** argv) {
+  util::Stopwatch bench_timer;
   const util::Config config(argc, argv);
   const Scale scale = SentimentScale(config);
   PrintConfigBanner("Table II — Sentiment Polarity (MTurk, synthetic stand-in)",
@@ -96,7 +98,7 @@ void Run(int argc, char** argv) {
       m.FitOnTargets(train, baselines::HardenTargets(mv_posteriors), dev,
                      &rng);
       collect.Add("MV-Classifier",
-                  eval::Accuracy(eval::ModelPredictor(*m.model()), test),
+                  eval::Accuracy(*m.model(), test),
                   eval::PosteriorAccuracy(mv_posteriors, train));
     });
 
@@ -111,7 +113,7 @@ void Run(int argc, char** argv) {
       m.FitOnTargets(train, baselines::HardenTargets(glad_posteriors), dev,
                      &rng);
       collect.Add("GLAD-Classifier",
-                  eval::Accuracy(eval::ModelPredictor(*m.model()), test),
+                  eval::Accuracy(*m.model(), test),
                   eval::PosteriorAccuracy(glad_posteriors, train));
     });
 
@@ -128,11 +130,7 @@ void Run(int argc, char** argv) {
           nullptr);
       m.Fit(train, ann, dev, &rng);
       collect.Add("Raykar",
-                  eval::Accuracy(
-                      [&m](const data::Instance& x) {
-                        return m.PredictStudent(x);
-                      },
-                      test),
+                  eval::PosteriorAccuracy(m.PredictStudentBatch(test), test),
                   eval::PosteriorAccuracy(m.qf(), train));
     });
 
@@ -144,11 +142,7 @@ void Run(int argc, char** argv) {
       core::LogicLncl m(lcfg, cnn, nullptr);
       m.Fit(train, ann, dev, &rng);
       collect.Add("AggNet",
-                  eval::Accuracy(
-                      [&m](const data::Instance& x) {
-                        return m.PredictStudent(x);
-                      },
-                      test),
+                  eval::PosteriorAccuracy(m.PredictStudentBatch(test), test),
                   eval::PosteriorAccuracy(m.qf(), train));
     });
 
@@ -168,7 +162,7 @@ void Run(int argc, char** argv) {
         baselines::CrowdLayer m(clcfg, cnn);
         m.Fit(train, ann, dev, &rng);
         collect.Add(name,
-                    eval::Accuracy(eval::ModelPredictor(*m.model()), test),
+                    eval::Accuracy(*m.model(), test),
                     eval::PosteriorAccuracy(m.TrainPosteriors(train), train));
       });
     }
@@ -185,18 +179,10 @@ void Run(int argc, char** argv) {
       m.Fit(train, ann, dev, &rng);
       const double inference = eval::PosteriorAccuracy(m.qf(), train);
       collect.Add("Logic-LNCL-student",
-                  eval::Accuracy(
-                      [&m](const data::Instance& x) {
-                        return m.PredictStudent(x);
-                      },
-                      test),
+                  eval::PosteriorAccuracy(m.PredictStudentBatch(test), test),
                   inference);
       collect.Add("Logic-LNCL-teacher",
-                  eval::Accuracy(
-                      [&m](const data::Instance& x) {
-                        return m.PredictTeacher(x);
-                      },
-                      test),
+                  eval::PosteriorAccuracy(m.PredictTeacherBatch(test), test),
                   inference);
     });
 
@@ -210,7 +196,7 @@ void Run(int argc, char** argv) {
       baselines::TwoStage m(ts, cnn);
       m.FitOnTargets(train, baselines::GoldTargets(train), dev, &rng);
       collect.Add("Gold",
-                  eval::Accuracy(eval::ModelPredictor(*m.model()), test), 1.0);
+                  eval::Accuracy(*m.model(), test), 1.0);
     });
   }
   pool.Wait();
@@ -263,6 +249,26 @@ void Run(int argc, char** argv) {
               << " | inference t=" << util::FormatFixed(inf.t, 2)
               << " p=" << util::FormatFixed(inf.p_one_sided, 4) << "\n";
   }
+
+  // ---- Timed end-to-end fit: batched pipeline vs the per-instance path.
+  // Same seed for both, so the trajectories (and therefore the work done per
+  // epoch) are bit-identical; only the prediction pipeline differs.
+  std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
+               "per-instance) ---\n";
+  std::vector<TimedFit> fits;
+  for (const bool batched : {false, true}) {
+    util::Rng rng(424242);
+    std::unique_ptr<models::Model> model = cnn(&rng);
+    core::SentimentButRule rule(model.get(), setup.corpus.but_token);
+    core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
+    lcfg.batch_predict = batched;
+    core::LogicLncl m(lcfg, std::move(model), &rule, cnn);
+    const core::LogicLnclResult res = m.Fit(train, ann, dev, &rng);
+    const std::string mode = batched ? "batched" : "per_instance";
+    PrintPhaseSeconds("Logic-LNCL fit (" + mode + ")", res.phase_seconds);
+    fits.push_back({mode, res});
+  }
+  EmitBenchJson("table2", bench_timer.Seconds(), fits);
 }
 
 }  // namespace

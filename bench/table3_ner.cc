@@ -18,6 +18,7 @@
 #include "inference/majority_vote.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -52,6 +53,7 @@ class Collector {
 };
 
 void Run(int argc, char** argv) {
+  util::Stopwatch bench_timer;
   const util::Config config(argc, argv);
   const Scale scale = NerScale(config);
   PrintConfigBanner("Table III — CoNLL-2003 NER (MTurk, synthetic stand-in)",
@@ -111,7 +113,7 @@ void Run(int argc, char** argv) {
       m.FitOnTargets(train, baselines::HardenTargets(mv_posteriors), dev,
                      &rng);
       collect.Add("MV-Classifier",
-                  eval::SpanF1(eval::ModelPredictor(*m.model()), test),
+                  eval::SpanF1(*m.model(), test),
                   eval::PosteriorSpanF1(mv_posteriors, train));
     });
 
@@ -123,11 +125,7 @@ void Run(int argc, char** argv) {
       core::LogicLncl m(lcfg, tagger, nullptr);
       m.Fit(train, ann, dev, &rng);
       collect.Add("AggNet",
-                  eval::SpanF1(
-                      [&m](const data::Instance& x) {
-                        return m.PredictStudent(x);
-                      },
-                      test),
+                  eval::PosteriorSpanF1(m.PredictStudentBatch(test), test),
                   eval::PosteriorSpanF1(m.qf(), train));
     });
 
@@ -157,7 +155,7 @@ void Run(int argc, char** argv) {
         baselines::CrowdLayer m(clcfg, tagger);
         m.Fit(train, ann, dev, &rng);
         collect.Add(v.name,
-                    eval::SpanF1(eval::ModelPredictor(*m.model()), test),
+                    eval::SpanF1(*m.model(), test),
                     eval::PosteriorSpanF1(m.TrainPosteriors(train), train));
       });
     }
@@ -194,18 +192,10 @@ void Run(int argc, char** argv) {
       m.Fit(train, ann, dev, &rng);
       const eval::PrF1 inference = eval::PosteriorSpanF1(m.qf(), train);
       collect.Add("Logic-LNCL-student",
-                  eval::SpanF1(
-                      [&m](const data::Instance& x) {
-                        return m.PredictStudent(x);
-                      },
-                      test),
+                  eval::PosteriorSpanF1(m.PredictStudentBatch(test), test),
                   inference);
       collect.Add("Logic-LNCL-teacher",
-                  eval::SpanF1(
-                      [&m](const data::Instance& x) {
-                        return m.PredictTeacher(x);
-                      },
-                      test),
+                  eval::PosteriorSpanF1(m.PredictTeacherBatch(test), test),
                   inference);
     });
 
@@ -220,7 +210,7 @@ void Run(int argc, char** argv) {
       baselines::TwoStage m(ts, tagger);
       m.FitOnTargets(train, baselines::GoldTargets(train), dev, &rng);
       collect.Add("Gold (Upper Bound)",
-                  eval::SpanF1(eval::ModelPredictor(*m.model()), test),
+                  eval::SpanF1(*m.model(), test),
                   {1.0, 1.0, 1.0});
     });
   }
@@ -271,6 +261,24 @@ void Run(int argc, char** argv) {
               << util::FormatFixed(pred.t, 2)
               << " p=" << util::FormatFixed(pred.p_one_sided, 4) << "\n";
   }
+
+  // ---- Timed end-to-end fit: batched pipeline vs the per-instance path.
+  // Same seed for both, so the trajectories (and therefore the work done per
+  // epoch) are bit-identical; only the prediction pipeline differs.
+  std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
+               "per-instance) ---\n";
+  std::vector<TimedFit> fits;
+  for (const bool batched : {false, true}) {
+    util::Rng rng(424242);
+    core::LogicLnclConfig lcfg = NerLnclConfig(scale);
+    lcfg.batch_predict = batched;
+    core::LogicLncl m(lcfg, tagger, projector.get());
+    const core::LogicLnclResult res = m.Fit(train, ann, dev, &rng);
+    const std::string mode = batched ? "batched" : "per_instance";
+    PrintPhaseSeconds("Logic-LNCL fit (" + mode + ")", res.phase_seconds);
+    fits.push_back({mode, res});
+  }
+  EmitBenchJson("table3", bench_timer.Seconds(), fits);
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 # Sanitizer sweep over the tier-1 test suite: builds and runs the tests
 # under ASan+UBSan, then under TSan (which exercises the deterministic
 # parallel training paths in determinism_test / util_test with real data
-# races flagged, not just bit-identity checked).
+# races flagged, not just bit-identity checked). Each sweep finishes with an
+# explicit run of the batched-prediction equivalence + determinism tests so
+# the PredictBatch bit-identity contract is checked under both sanitizers.
 #
 #   scripts/check.sh              # both sweeps
 #   scripts/check.sh address,undefined
@@ -23,6 +25,8 @@ for san in "${sweeps[@]}"; do
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$build" -j "$(nproc)"
   ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+  echo "----- ${san}: batched-prediction equivalence + determinism -----"
+  ctest --test-dir "$build" --output-on-failure -R 'batch_predict|determinism'
 done
 
 echo "All sanitizer sweeps passed."

@@ -123,9 +123,6 @@ CrowdLayerResult CrowdLayer::Fit(const data::Dataset& train,
     }
   }
 
-  const eval::Predictor student = [this](const data::Instance& x) {
-    return model_->Predict(x);
-  };
   core::EarlyStopper stopper(config_.patience);
 
   std::vector<int> order(train.size());
@@ -158,7 +155,7 @@ CrowdLayerResult CrowdLayer::Fit(const data::Dataset& train,
       }
     }
     if (in_batch > 0) optimizer->Step(all_params);
-    if (stopper.Update(eval::DevScore(student, dev), all_params)) break;
+    if (stopper.Update(eval::DevScore(*model_, dev), all_params)) break;
   }
   stopper.Restore(all_params);
   result.best_dev_score = stopper.best_score();

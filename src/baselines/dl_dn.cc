@@ -40,13 +40,10 @@ void DlDn::Fit(const data::Dataset& train,
         nn::MakeOptimizer(config_.optimizer);
     const std::vector<nn::Parameter*> params = net->Params();
     core::EarlyStopper stopper(config_.patience);
-    const eval::Predictor pred = [&net](const data::Instance& x) {
-      return net->Predict(x);
-    };
     for (int epoch = 0; epoch < config_.epochs; ++epoch) {
       core::RunMinibatchEpoch(sub[j], sub_targets[j], {}, config_.batch_size,
                               net.get(), optimizer.get(), rng);
-      if (stopper.Update(eval::DevScore(pred, dev), params)) break;
+      if (stopper.Update(eval::DevScore(*net, dev), params)) break;
     }
     stopper.Restore(params);
     networks_.push_back(std::move(net));

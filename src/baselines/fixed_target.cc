@@ -14,9 +14,6 @@ FixedTargetResult FixedTargetTrainer::Fit(
       nn::MakeOptimizer(config_.optimizer);
   const std::vector<nn::Parameter*> params = model_->Params();
 
-  const eval::Predictor student = [this](const data::Instance& x) {
-    return model_->Predict(x);
-  };
   core::EarlyStopper stopper(config_.patience);
   std::vector<util::Matrix> qf = q_base;
   std::vector<util::Matrix> best_qf = qf;
@@ -40,7 +37,7 @@ FixedTargetResult FixedTargetTrainer::Fit(
     core::RunMinibatchEpoch(train, qf, {}, config_.batch_size, model_.get(),
                             optimizer.get(), rng);
     const int prev_best = stopper.best_epoch();
-    const bool stop = stopper.Update(eval::DevScore(student, dev), params);
+    const bool stop = stopper.Update(eval::DevScore(*model_, dev), params);
     if (stopper.best_epoch() != prev_best) best_qf = qf;
     if (stop) break;
   }

@@ -54,15 +54,12 @@ TwoStageResult TwoStage::FitOnTargets(const data::Dataset& train,
       nn::MakeOptimizer(config_.optimizer);
   const std::vector<nn::Parameter*> params = model_->Params();
 
-  const eval::Predictor student = [this](const data::Instance& x) {
-    return model_->Predict(x);
-  };
   core::EarlyStopper stopper(config_.patience);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     nn::ApplyLrSchedule(config_.optimizer, epoch, optimizer.get());
     core::RunMinibatchEpoch(train, targets, {}, config_.batch_size,
                             model_.get(), optimizer.get(), rng);
-    if (stopper.Update(eval::DevScore(student, dev), params)) break;
+    if (stopper.Update(eval::DevScore(*model_, dev), params)) break;
   }
   stopper.Restore(params);
   result.best_dev_score = stopper.best_score();

@@ -6,6 +6,7 @@
 #include "inference/truth_inference.h"
 #include "nn/serialize.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace lncl::core {
 
@@ -116,7 +117,9 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
     return model_->Predict(x);
   };
 
+  util::Stopwatch fit_timer;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    util::Stopwatch phase;
     nn::ApplyLrSchedule(config_.optimizer, epoch, optimizer.get());
 
     // ---- Pseudo-M-step: network (Eq. 8/10/11), then annotators (Eq. 12).
@@ -128,23 +131,61 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
                                        model_.get(), slot_models,
                                        optimizer.get(), rng, &exec);
     result.loss_curve.push_back(loss);
+    result.phase_seconds.m_step += phase.Lap();
     UpdateConfusions(qf_, annotations, config_.confusion_smoothing,
                      &confusions_, sharded ? &exec : nullptr);
+    result.phase_seconds.confusion += phase.Lap();
 
     // ---- Pseudo-E-step: q_a (Eq. 13), q_b (Eq. 15), q_f (Eq. 9).
     // Instances are independent (each slot writes only its own qf_ rows), so
     // the parallel sweep is deterministic regardless of slot structure.
     const double k = config_.k_schedule(epoch);
+    const bool project =
+        projector_ != nullptr && config_.use_rules_in_training && k > 0.0;
+    // Hoisted likelihood logs (once per annotator per epoch rather than once
+    // per labeled instance; same float values as the in-line logs).
+    const std::vector<util::Matrix> log_pi =
+        config_.batch_predict ? LogConfusions(confusions_)
+                              : std::vector<util::Matrix>();
     exec.RunSlots(util::Parallelizer::kSlots, [&](int slot) {
       const auto [begin, end] = util::Parallelizer::SlotRange(
           train.size(), slot, util::Parallelizer::kSlots);
+      if (config_.batch_predict) {
+        if (begin >= end) return;
+        std::vector<const data::Instance*> xs;
+        xs.reserve(end - begin);
+        for (int i = begin; i < end; ++i) xs.push_back(&train.instances[i]);
+        std::vector<util::Matrix> probs;
+        model_->PredictBatch(xs, &probs);
+        std::vector<util::Matrix> qa(xs.size());
+        for (int i = begin; i < end; ++i) {
+          qa[i - begin] =
+              ComputeQa(probs[i - begin], annotations.instance(i), log_pi);
+        }
+        if (project) {
+          // ProjectBatch rewrites in place, so q_a is copied to blend below.
+          std::vector<util::Matrix> qb = qa;
+          projector_->ProjectBatch(xs, &qb, config_.C);
+          for (size_t j = 0; j < qa.size(); ++j) {
+            util::Matrix& qaj = qa[j];
+            const util::Matrix& qbj = qb[j];
+            for (int t = 0; t < qaj.rows(); ++t) {
+              for (int c = 0; c < qaj.cols(); ++c) {
+                qaj(t, c) = static_cast<float>((1.0 - k) * qaj(t, c) +
+                                               k * qbj(t, c));
+              }
+            }
+          }
+        }
+        for (int i = begin; i < end; ++i) qf_[i] = std::move(qa[i - begin]);
+        return;
+      }
       for (int i = begin; i < end; ++i) {
         const data::Instance& x = train.instances[i];
         const util::Matrix probs = model_->Predict(x);
         util::Matrix qa =
             ComputeQa(probs, annotations.instance(i), confusions_);
-        if (projector_ != nullptr && config_.use_rules_in_training &&
-            k > 0.0) {
+        if (project) {
           const util::Matrix qb = projector_->Project(x, qa, config_.C);
           for (int t = 0; t < qa.rows(); ++t) {
             for (int c = 0; c < qa.cols(); ++c) {
@@ -157,9 +198,13 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
       }
     });
     anchor();
+    result.phase_seconds.e_step += phase.Lap();
 
     // ---- Model selection on dev.
-    const double dev_score = eval::DevScore(student, dev);
+    const double dev_score = config_.batch_predict
+                                 ? eval::DevScore(*model_, dev)
+                                 : eval::DevScore(student, dev);
+    result.phase_seconds.dev_eval += phase.Lap();
     result.dev_curve.push_back(dev_score);
     const int prev_best = stopper.best_epoch();
     const bool stop = stopper.Update(dev_score, params);
@@ -180,6 +225,7 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
   result.best_dev_score = stopper.best_score();
   result.best_epoch = stopper.best_epoch();
   result.epochs_run = stopper.epochs_seen();
+  result.phase_seconds.total = fit_timer.Seconds();
   return result;
 }
 
@@ -201,6 +247,22 @@ util::Matrix LogicLncl::PredictTeacher(const data::Instance& x) const {
   util::Matrix probs = model_->Predict(x);
   if (projector_ == nullptr) return probs;
   return projector_->Project(x, probs, config_.C);
+}
+
+std::vector<util::Matrix> LogicLncl::PredictStudentBatch(
+    const data::Dataset& dataset) const {
+  return model_->PredictBatch(dataset);
+}
+
+std::vector<util::Matrix> LogicLncl::PredictTeacherBatch(
+    const data::Dataset& dataset) const {
+  std::vector<const data::Instance*> xs;
+  xs.reserve(dataset.instances.size());
+  for (const data::Instance& x : dataset.instances) xs.push_back(&x);
+  std::vector<util::Matrix> probs;
+  model_->PredictBatch(xs, &probs);
+  if (projector_ != nullptr) projector_->ProjectBatch(xs, &probs, config_.C);
+  return probs;
 }
 
 }  // namespace lncl::core

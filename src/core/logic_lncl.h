@@ -46,6 +46,22 @@ struct LogicLnclConfig {
   //        every threads >= 1 setting. threads = 1 runs the same sharded
   //        trajectory serially.
   int threads = 0;
+  // Use Model::PredictBatch for the E-step sweep, dev evaluation, and
+  // rule projection (one batched clause-B prediction per slot instead of one
+  // Predict per grounded instance). Bit-identical to the per-instance path
+  // at any threads setting — the batched kernels only add GEMM rows — so
+  // this is purely a performance switch; false keeps the PR-1-era
+  // per-instance pipeline (the bench baseline).
+  bool batch_predict = true;
+};
+
+// Wall-clock breakdown of the Fit epoch loop, summed over epochs (seconds).
+struct PhaseSeconds {
+  double m_step = 0.0;     // minibatch network updates (Eq. 8/10/11)
+  double confusion = 0.0;  // closed-form annotator update (Eq. 12)
+  double e_step = 0.0;     // q_a / q_b / q_f sweep (Eq. 13/15/9)
+  double dev_eval = 0.0;   // dev-set model selection
+  double total = 0.0;      // the whole Fit call
 };
 
 // Summary of a fitted run.
@@ -55,6 +71,7 @@ struct LogicLnclResult {
   int epochs_run = 0;
   std::vector<double> dev_curve;   // dev score per epoch (student)
   std::vector<double> loss_curve;  // mean training loss per epoch
+  PhaseSeconds phase_seconds;      // where the time went
 };
 
 // Logic-guided Learning from Noisy Crowd Labels: the EM-alike iterative
@@ -114,6 +131,13 @@ class LogicLncl {
 
   util::Matrix PredictStudent(const data::Instance& x) const;
   util::Matrix PredictTeacher(const data::Instance& x) const;
+
+  // Batched counterparts over a whole dataset (bit-identical to looping the
+  // per-instance forms; see Model::PredictBatch).
+  std::vector<util::Matrix> PredictStudentBatch(
+      const data::Dataset& dataset) const;
+  std::vector<util::Matrix> PredictTeacherBatch(
+      const data::Dataset& dataset) const;
 
   // Final truth estimates q_f on the training set (the paper's "Inference"
   // metric for Logic-LNCL) and annotator confusion estimates (Figures 6/7).

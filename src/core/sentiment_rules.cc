@@ -1,6 +1,7 @@
 #include "core/sentiment_rules.h"
 
 #include <cassert>
+#include <mutex>
 
 #include "data/sentiment_gen.h"
 
@@ -20,16 +21,23 @@ SentimentButRule::SentimentButRule(const models::Model* model,
              weight, "but-negative");
 }
 
-util::Matrix SentimentButRule::Project(const data::Instance& x,
-                                       const util::Matrix& q,
-                                       double C) const {
-  assert(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
-  if (x.contrast_index < 0 ||
-      x.tokens[x.contrast_index] != marker_token_ ||
-      x.contrast_index + 1 >= static_cast<int>(x.tokens.size())) {
-    return q;  // no grounding formed
+bool SentimentButRule::GroundingFormed(const data::Instance& x) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    const auto it = grounding_cache_.find(&x);
+    if (it != grounding_cache_.end()) return it->second;
   }
-  const util::Matrix pb = model_->Predict(data::ClauseB(x));
+  const bool formed =
+      !(x.contrast_index < 0 || x.tokens[x.contrast_index] != marker_token_ ||
+        x.contrast_index + 1 >= static_cast<int>(x.tokens.size()));
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  grounding_cache_.emplace(&x, formed);
+  return formed;
+}
+
+util::Matrix SentimentButRule::ApplyRule(const util::Matrix& q,
+                                         const util::Matrix& pb,
+                                         double C) const {
   const double pb_pos = pb(0, data::kSentimentPositive);
   const double pb_neg = pb(0, data::kSentimentNegative);
 
@@ -41,6 +49,42 @@ util::Matrix SentimentButRule::Project(const data::Instance& x,
         rules_.Penalty({is_pos, pb_pos, is_neg, pb_neg}));
   }
   return logic::ProjectIndependent(q, penalties, C);
+}
+
+util::Matrix SentimentButRule::Project(const data::Instance& x,
+                                       const util::Matrix& q,
+                                       double C) const {
+  assert(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
+  if (!GroundingFormed(x)) return q;
+  return ApplyRule(q, model_->Predict(data::ClauseB(x)), C);
+}
+
+void SentimentButRule::ProjectBatch(
+    const std::vector<const data::Instance*>& xs,
+    std::vector<util::Matrix>* qs, double C) const {
+  assert(qs->size() == xs.size());
+  std::vector<int> grounded;
+  std::vector<data::Instance> clause_b;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (GroundingFormed(*xs[i])) {
+      grounded.push_back(static_cast<int>(i));
+      clause_b.push_back(data::ClauseB(*xs[i]));
+    }
+  }
+  if (grounded.empty()) return;
+
+  // One batched prediction over every grounded B clause.
+  std::vector<const data::Instance*> clause_ptrs;
+  clause_ptrs.reserve(clause_b.size());
+  for (const data::Instance& cb : clause_b) clause_ptrs.push_back(&cb);
+  std::vector<util::Matrix> pbs;
+  model_->PredictBatch(clause_ptrs, &pbs);
+
+  for (size_t j = 0; j < grounded.size(); ++j) {
+    util::Matrix& q = (*qs)[grounded[j]];
+    assert(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
+    q = ApplyRule(q, pbs[j], C);
+  }
 }
 
 }  // namespace lncl::core

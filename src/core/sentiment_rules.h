@@ -1,6 +1,10 @@
 #ifndef LNCL_CORE_SENTIMENT_RULES_H_
 #define LNCL_CORE_SENTIMENT_RULES_H_
 
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
 #include "logic/posterior_reg.h"
 #include "logic/rule.h"
 #include "models/model.h"
@@ -20,7 +24,10 @@ namespace lncl::core {
 //
 // The projector consults the classifier (`model`), whose parameters evolve
 // across the EM-alike epochs — groundings are therefore re-evaluated at
-// every projection, as in the paper.
+// every projection, as in the paper. Whether a grounding is *formed*,
+// however, depends only on the instance's static token data, so that
+// decision is cached per instance address; instances handed to Project /
+// ProjectBatch must outlive the projector and must not be mutated.
 class SentimentButRule : public logic::RuleProjector {
  public:
   // `marker_token`: vocabulary id of the conjunction that activates the rule
@@ -32,14 +39,31 @@ class SentimentButRule : public logic::RuleProjector {
   util::Matrix Project(const data::Instance& x, const util::Matrix& q,
                        double C) const override;
 
+  // Batched projection: collects the grounded instances' B clauses and runs
+  // them through one Model::PredictBatch call instead of one Predict each.
+  // Bit-identical to looping Project.
+  void ProjectBatch(const std::vector<const data::Instance*>& xs,
+                    std::vector<util::Matrix>* qs, double C) const override;
+
   // The underlying PSL rules (atoms: 0 = positive(S), 1 = sigma(B)+,
   // 2 = negative(S), 3 = sigma(B)-). Exposed for inspection/tests.
   const logic::RuleSet& rules() const { return rules_; }
 
  private:
+  // Whether x activates the rule (contrast marker present with a non-empty B
+  // clause); memoized by instance address under a shared mutex.
+  bool GroundingFormed(const data::Instance& x) const;
+
+  // Eq. 15 projection of q given the clause-B prediction pb (1 x 2).
+  util::Matrix ApplyRule(const util::Matrix& q, const util::Matrix& pb,
+                         double C) const;
+
   const models::Model* model_;  // not owned
   int marker_token_;
   logic::RuleSet rules_;
+
+  mutable std::shared_mutex cache_mu_;
+  mutable std::unordered_map<const data::Instance*, bool> grounding_cache_;
 };
 
 }  // namespace lncl::core

@@ -62,6 +62,18 @@ util::Matrix ComputeQa(const util::Matrix& probs,
                        const crowd::InstanceAnnotations& annotations,
                        const crowd::ConfusionSet& confusions);
 
+// Per-annotator K x K tables log_pi[a](m, y) = float(log(max(pi_a(m, y),
+// 1e-300))) — the likelihood logs ComputeQa needs, hoisted so an E-step
+// evaluates each annotator's logs once instead of once per labeled instance.
+std::vector<util::Matrix> LogConfusions(const crowd::ConfusionSet& confusions);
+
+// ComputeQa against precomputed LogConfusions tables. Bit-identical to the
+// overload above: the tables hold the very float values that overload adds,
+// so the accumulation sequence is unchanged.
+util::Matrix ComputeQa(const util::Matrix& probs,
+                       const crowd::InstanceAnnotations& annotations,
+                       const std::vector<util::Matrix>& log_confusions);
+
 // Closed-form confusion-matrix update from soft truth estimates — Eq. 12.
 // `smoothing` is an additive pseudo-count before row normalization.
 // When `exec` is non-null the per-instance counts are accumulated into

@@ -101,4 +101,17 @@ double DevScore(const Predictor& predict, const data::Dataset& dataset) {
   return Accuracy(predict, dataset);
 }
 
+double Accuracy(const models::Model& model, const data::Dataset& dataset) {
+  return PosteriorAccuracy(model.PredictBatch(dataset), dataset);
+}
+
+PrF1 SpanF1(const models::Model& model, const data::Dataset& dataset) {
+  return PosteriorSpanF1(model.PredictBatch(dataset), dataset);
+}
+
+double DevScore(const models::Model& model, const data::Dataset& dataset) {
+  if (dataset.sequence) return SpanF1(model, dataset).f1;
+  return Accuracy(model, dataset);
+}
+
 }  // namespace lncl::eval

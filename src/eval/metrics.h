@@ -27,6 +27,11 @@ struct PrF1 {
 // Item-level accuracy of argmax predictions against ground truth.
 double Accuracy(const Predictor& predict, const data::Dataset& dataset);
 
+// Batched variant: predictions flow through Model::PredictBatch (bit-
+// identical results to the Predictor form, same counting order, one packed
+// forward per length bucket instead of one per instance).
+double Accuracy(const models::Model& model, const data::Dataset& dataset);
+
 // Accuracy of per-instance posterior estimates (items x K each) against
 // ground truth — the "Inference" columns of Tables II/III for
 // classification.
@@ -41,6 +46,9 @@ PrF1 SpanF1(const std::vector<std::vector<int>>& predicted_tags,
 // Span F1 of a model/predictor on a sequence dataset (argmax decoding).
 PrF1 SpanF1(const Predictor& predict, const data::Dataset& dataset);
 
+// Batched variant (see the batched Accuracy overload).
+PrF1 SpanF1(const models::Model& model, const data::Dataset& dataset);
+
 // Span F1 of posterior estimates on a sequence dataset — the "Inference"
 // columns of Table III.
 PrF1 PosteriorSpanF1(const std::vector<util::Matrix>& posteriors,
@@ -49,6 +57,10 @@ PrF1 PosteriorSpanF1(const std::vector<util::Matrix>& posteriors,
 // One scalar for model selection / early stopping: accuracy for
 // classification datasets, span F1 for sequence datasets.
 double DevScore(const Predictor& predict, const data::Dataset& dataset);
+
+// Batched variant (see the batched Accuracy overload) — the per-epoch dev
+// evaluation of every trainer goes through this.
+double DevScore(const models::Model& model, const data::Dataset& dataset);
 
 // Argmax decoding helpers.
 std::vector<int> ArgmaxRows(const util::Matrix& probs);

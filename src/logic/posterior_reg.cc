@@ -5,6 +5,15 @@
 
 namespace lncl::logic {
 
+void RuleProjector::ProjectBatch(const std::vector<const data::Instance*>& xs,
+                                 std::vector<util::Matrix>* qs,
+                                 double C) const {
+  assert(qs->size() == xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (*qs)[i] = Project(*xs[i], (*qs)[i], C);
+  }
+}
+
 util::Matrix ProjectIndependent(const util::Matrix& q,
                                 const util::Matrix& penalties, double C) {
   assert(q.rows() == penalties.rows() && q.cols() == penalties.cols());

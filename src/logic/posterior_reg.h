@@ -1,6 +1,8 @@
 #ifndef LNCL_LOGIC_POSTERIOR_REG_H_
 #define LNCL_LOGIC_POSTERIOR_REG_H_
 
+#include <vector>
+
 #include "data/dataset.h"
 #include "util/matrix.h"
 
@@ -23,6 +25,14 @@ class RuleProjector {
   // q: items x K, row-stochastic. Returns q_b with the same shape.
   virtual util::Matrix Project(const data::Instance& x, const util::Matrix& q,
                                double C) const = 0;
+
+  // Projects a whole batch: (*qs)[i] is replaced by Project(*xs[i],
+  // (*qs)[i], C). The base implementation loops Project; projectors whose
+  // rule values consult a model (SentimentButRule's clause-B prediction)
+  // override it to batch those inner predictions. Overrides must stay
+  // bit-identical to the looped default.
+  virtual void ProjectBatch(const std::vector<const data::Instance*>& xs,
+                            std::vector<util::Matrix>* qs, double C) const;
 };
 
 // Trivial projector: q_b = q_a. Used by the w/o-Rule ablation and as the

@@ -1,8 +1,10 @@
 #include "models/logreg.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "nn/softmax.h"
+#include "util/workspace.h"
 
 namespace lncl::models {
 
@@ -33,6 +35,44 @@ util::Matrix LogisticRegression::Predict(const data::Instance& x) const {
   util::Matrix out(1, num_classes());
   std::copy(probs.begin(), probs.end(), out.Row(0));
   return out;
+}
+
+void LogisticRegression::PredictBatch(
+    const std::vector<const data::Instance*>& xs,
+    std::vector<util::Matrix>* out) const {
+  out->resize(xs.size());
+  if (xs.empty()) return;
+
+  const int dim = embeddings_->dim();
+  const int k_cls = num_classes();
+  util::WorkspaceScope scope;
+  util::Matrix& feats = scope.NewMatrix(static_cast<int>(xs.size()), dim);
+  util::Matrix& embedded = scope.NewMatrix();
+  util::Matrix& logits = scope.NewMatrix();
+  util::Matrix& probs = scope.NewMatrix();
+
+  // Same accumulation order as Features(), written into row i of the stack.
+  for (size_t i = 0; i < xs.size(); ++i) {
+    embeddings_->Lookup(xs[i]->tokens, &embedded);
+    float* feat = feats.Row(static_cast<int>(i));
+    std::fill(feat, feat + dim, 0.0f);
+    if (embedded.rows() == 0) continue;
+    for (int t = 0; t < embedded.rows(); ++t) {
+      const float* row = embedded.Row(t);
+      for (int d = 0; d < embedded.cols(); ++d) feat[d] += row[d];
+    }
+    const float inv = 1.0f / static_cast<float>(embedded.rows());
+    for (int d = 0; d < dim; ++d) feat[d] *= inv;
+  }
+
+  fc_.ForwardRows(feats, &logits);
+  nn::SoftmaxRows(logits, &probs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    util::Matrix m(1, k_cls);
+    std::copy(probs.Row(static_cast<int>(i)),
+              probs.Row(static_cast<int>(i)) + k_cls, m.Row(0));
+    (*out)[i] = std::move(m);
+  }
 }
 
 const util::Matrix& LogisticRegression::ForwardTrain(const data::Instance& x,

@@ -21,6 +21,11 @@ class LogisticRegression : public Model {
   int NumItems(const data::Instance&) const override { return 1; }
 
   util::Matrix Predict(const data::Instance& x) const override;
+  // Batched prediction: mean-pooled features stacked into one B x D matrix,
+  // then a single fc GEMM + row softmax. Bit-identical to looping Predict
+  // (no bucketing needed — only the pooling loop depends on length).
+  void PredictBatch(const std::vector<const data::Instance*>& xs,
+                    std::vector<util::Matrix>* out) const override;
   const util::Matrix& ForwardTrain(const data::Instance& x,
                                    util::Rng* rng) override;
   double BackwardSoftTarget(const util::Matrix& q, float w) override;

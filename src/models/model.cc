@@ -1,0 +1,57 @@
+#include "models/model.h"
+
+#include <map>
+
+namespace lncl::models {
+
+void Model::PredictBatch(const std::vector<const data::Instance*>& xs,
+                         std::vector<util::Matrix>* out) const {
+  out->resize(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (*out)[i] = Predict(*xs[i]);
+  }
+}
+
+std::vector<util::Matrix> Model::PredictBatch(
+    const data::Dataset& dataset, const std::vector<int>& indices) const {
+  std::vector<const data::Instance*> xs;
+  xs.reserve(indices.size());
+  for (int idx : indices) xs.push_back(&dataset.instances[idx]);
+  std::vector<util::Matrix> out;
+  PredictBatch(xs, &out);
+  return out;
+}
+
+std::vector<util::Matrix> Model::PredictBatch(
+    const data::Dataset& dataset) const {
+  std::vector<const data::Instance*> xs;
+  xs.reserve(dataset.instances.size());
+  for (const data::Instance& x : dataset.instances) xs.push_back(&x);
+  std::vector<util::Matrix> out;
+  PredictBatch(xs, &out);
+  return out;
+}
+
+std::vector<LengthBucket> BucketByLength(
+    const std::vector<const data::Instance*>& xs) {
+  std::map<int, std::vector<int>> by_length;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    by_length[static_cast<int>(xs[i]->tokens.size())].push_back(
+        static_cast<int>(i));
+  }
+  std::vector<LengthBucket> buckets;
+  for (auto& [length, members] : by_length) {
+    for (size_t at = 0; at < members.size(); at += kMaxPredictBatch) {
+      LengthBucket b;
+      b.length = length;
+      const size_t end = std::min(members.size(),
+                                  at + static_cast<size_t>(kMaxPredictBatch));
+      b.members.assign(members.begin() + static_cast<long>(at),
+                       members.begin() + static_cast<long>(end));
+      buckets.push_back(std::move(b));
+    }
+  }
+  return buckets;
+}
+
+}  // namespace lncl::models

@@ -41,6 +41,23 @@ class Model {
   // Evaluation-mode prediction (no dropout): items x K row-stochastic matrix.
   virtual util::Matrix Predict(const data::Instance& x) const = 0;
 
+  // Batched evaluation-mode prediction: (*out)[i] is the prediction for
+  // *xs[i]. The base implementation loops Predict; TextCnn, NerTagger, and
+  // LogisticRegression override it with length-bucketed packed kernels
+  // (embedding gather + [B*L, .] GEMMs + time-major recurrence) that produce
+  // results byte-for-byte equal to the per-instance path — the batch
+  // dimension only adds GEMM rows, it never reorders any reduction
+  // (tests/batch_predict_test.cc). Thread-safety matches Predict: batch
+  // temporaries live in the per-thread util::Workspace arena.
+  virtual void PredictBatch(const std::vector<const data::Instance*>& xs,
+                            std::vector<util::Matrix>* out) const;
+
+  // Convenience forms over a dataset: predictions for
+  // dataset.instances[indices[...]] / for every instance.
+  std::vector<util::Matrix> PredictBatch(const data::Dataset& dataset,
+                                         const std::vector<int>& indices) const;
+  std::vector<util::Matrix> PredictBatch(const data::Dataset& dataset) const;
+
   // Training-mode forward. The returned reference stays valid until the next
   // ForwardTrain call on this model.
   virtual const util::Matrix& ForwardTrain(const data::Instance& x,
@@ -61,6 +78,25 @@ class Model {
 // parameters (weights drawn from `rng`).
 using ModelFactory =
     std::function<std::unique_ptr<Model>(util::Rng* rng)>;
+
+// Ceiling on the instances packed into one [B, L] block by the batched
+// prediction kernels: bounds the workspace high-water mark (the packed
+// buffers scale with B * L) without affecting results — per-row arithmetic
+// is independent of the bucket composition.
+inline constexpr int kMaxPredictBatch = 64;
+
+// One equal-length group of a prediction batch: positions (into the `xs`
+// span handed to PredictBatch) of the instances with `length` tokens, capped
+// at kMaxPredictBatch members per bucket.
+struct LengthBucket {
+  int length = 0;
+  std::vector<int> members;
+};
+
+// Deterministic grouping of a batch by token count (ascending length,
+// positions in input order, oversize groups split at the cap).
+std::vector<LengthBucket> BucketByLength(
+    const std::vector<const data::Instance*>& xs);
 
 }  // namespace lncl::models
 

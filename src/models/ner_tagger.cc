@@ -5,6 +5,7 @@
 #include "nn/activations.h"
 #include "nn/dropout.h"
 #include "nn/softmax.h"
+#include "util/workspace.h"
 
 namespace lncl::models {
 
@@ -46,6 +47,51 @@ util::Matrix NerTagger::Predict(const data::Instance& x) const {
   fc_.ForwardRows(hidden, &logits);
   nn::SoftmaxRows(logits, &probs);
   return probs;
+}
+
+void NerTagger::PredictBatch(const std::vector<const data::Instance*>& xs,
+                             std::vector<util::Matrix>* out) const {
+  out->resize(xs.size());
+  if (xs.empty()) return;
+
+  const int k_cls = config_.num_classes;
+  util::WorkspaceScope scope;
+  util::Matrix& packed = scope.NewMatrix();
+  util::Matrix& conv_out = scope.NewMatrix();
+  util::Matrix& hidden = scope.NewMatrix();
+  util::Matrix& logits = scope.NewMatrix();
+  util::Matrix& probs = scope.NewMatrix();
+
+  std::vector<int> tokens;
+  for (const LengthBucket& bucket : BucketByLength(xs)) {
+    const int t = bucket.length;
+    if (t == 0) {
+      // Predict on an empty instance yields a 0 x K matrix.
+      for (int m : bucket.members) (*out)[m] = util::Matrix(0, k_cls);
+      continue;
+    }
+    const int batch = static_cast<int>(bucket.members.size());
+    tokens.clear();
+    for (int m : bucket.members) {
+      tokens.insert(tokens.end(), xs[m]->tokens.begin(), xs[m]->tokens.end());
+    }
+    embeddings_->Lookup(tokens, &packed);
+    conv_.ForwardPacked(packed, batch, t, &conv_out);
+    nn::ReluForward(&conv_out);
+    if (gru_ != nullptr) {
+      gru_->ForwardPacked(conv_out, batch, t, &hidden);
+    } else {
+      lstm_->ForwardPacked(conv_out, batch, t, &hidden);
+    }
+    fc_.ForwardRows(hidden, &logits);
+    nn::SoftmaxRows(logits, &probs);
+    for (int b = 0; b < batch; ++b) {
+      util::Matrix m(t, k_cls);
+      std::copy(probs.Row(b * t), probs.Row(b * t) + static_cast<size_t>(t) * k_cls,
+                m.Row(0));
+      (*out)[bucket.members[b]] = std::move(m);
+    }
+  }
 }
 
 const util::Matrix& NerTagger::ForwardTrain(const data::Instance& x,

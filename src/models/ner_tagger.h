@@ -40,6 +40,12 @@ class NerTagger : public Model {
   }
 
   util::Matrix Predict(const data::Instance& x) const override;
+  // Length-bucketed batched prediction: packed embedding gather, one conv
+  // GEMM per bucket, time-major batched recurrence, and one fc GEMM over all
+  // token rows. Bit-identical to looping Predict
+  // (tests/batch_predict_test.cc).
+  void PredictBatch(const std::vector<const data::Instance*>& xs,
+                    std::vector<util::Matrix>* out) const override;
   const util::Matrix& ForwardTrain(const data::Instance& x,
                                    util::Rng* rng) override;
   double BackwardSoftTarget(const util::Matrix& q, float w) override;

@@ -7,6 +7,7 @@
 #include "nn/dropout.h"
 #include "nn/maxpool.h"
 #include "nn/softmax.h"
+#include "util/workspace.h"
 
 namespace lncl::models {
 
@@ -67,6 +68,58 @@ util::Matrix TextCnn::Predict(const data::Instance& x) const {
   util::Matrix out(1, config_.num_classes);
   std::copy(probs.begin(), probs.end(), out.Row(0));
   return out;
+}
+
+void TextCnn::PredictBatch(const std::vector<const data::Instance*>& xs,
+                           std::vector<util::Matrix>* out) const {
+  out->resize(xs.size());
+  if (xs.empty()) return;
+
+  const int f = config_.feature_maps;
+  const int feat_dim = static_cast<int>(convs_.size()) * f;
+  util::WorkspaceScope scope;
+  util::Matrix& feats = scope.NewMatrix(static_cast<int>(xs.size()), feat_dim);
+  util::Matrix& packed = scope.NewMatrix();
+  util::Matrix& conv_out = scope.NewMatrix();
+  util::Matrix& logits = scope.NewMatrix();
+  util::Matrix& probs = scope.NewMatrix();
+
+  std::vector<int> tokens;
+  for (const LengthBucket& bucket : BucketByLength(xs)) {
+    const int batch = static_cast<int>(bucket.members.size());
+    const int t = bucket.length;
+    // Packed embedding gather: one (batch * t) x D block for the bucket.
+    tokens.clear();
+    for (int m : bucket.members) {
+      tokens.insert(tokens.end(), xs[m]->tokens.begin(), xs[m]->tokens.end());
+    }
+    if (trainable_ != nullptr) {
+      trainable_->Forward(tokens, &packed);
+    } else {
+      embeddings_->Lookup(tokens, &packed);
+    }
+    for (size_t wi = 0; wi < convs_.size(); ++wi) {
+      convs_[wi]->ForwardPacked(packed, batch, t, &conv_out);
+      nn::ReluForward(&conv_out);
+      const int out_rows = convs_[wi]->OutRows(t);
+      for (int b = 0; b < batch; ++b) {
+        nn::MaxOverTimeRange(
+            conv_out, b * out_rows, (b + 1) * out_rows,
+            feats.Row(bucket.members[b]) + static_cast<size_t>(wi) * f);
+      }
+    }
+  }
+
+  // One fc GEMM + softmax over every instance of the batch (rows are
+  // independent, so this matches Predict's per-instance Forward + Softmax).
+  fc_.ForwardRows(feats, &logits);
+  nn::SoftmaxRows(logits, &probs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    util::Matrix m(1, config_.num_classes);
+    std::copy(probs.Row(static_cast<int>(i)),
+              probs.Row(static_cast<int>(i)) + config_.num_classes, m.Row(0));
+    (*out)[i] = std::move(m);
+  }
 }
 
 const util::Matrix& TextCnn::ForwardTrain(const data::Instance& x,

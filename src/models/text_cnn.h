@@ -38,6 +38,11 @@ class TextCnn : public Model {
   int NumItems(const data::Instance&) const override { return 1; }
 
   util::Matrix Predict(const data::Instance& x) const override;
+  // Length-bucketed batched prediction: one packed embedding gather, one
+  // convolution GEMM, and one fc GEMM per bucket instead of per instance.
+  // Bit-identical to looping Predict (tests/batch_predict_test.cc).
+  void PredictBatch(const std::vector<const data::Instance*>& xs,
+                    std::vector<util::Matrix>* out) const override;
   const util::Matrix& ForwardTrain(const data::Instance& x,
                                    util::Rng* rng) override;
   double BackwardSoftTarget(const util::Matrix& q, float w) override;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/workspace.h"
+
 namespace lncl::nn {
 
 Conv1d::Conv1d(const std::string& name, int window, int in_dim, int filters,
@@ -36,6 +38,19 @@ thread_local util::Matrix tls_grad_patches;
 // (at most window-1 of them, kSame borders or a kValid input shorter than
 // the window) need scalar handling, over the clipped overlap
 // [lo, hi) x in_dim with the matching offset into the filter row.
+//
+// The interior GEMM runs in the NN form against a transposed copy of the
+// filter bank (window*D x F, built per call in workspace scratch): its inner
+// loop updates F independent accumulators with stride-1 loads, which
+// vectorizes, where the NT form's per-output dot products cannot be
+// vectorized without reordering the sum. Forward and ForwardPacked share the
+// transpose helper and the GEMM shape, so a packed instance block stays
+// byte-for-byte equal to Forward on the instance alone; ForwardPacked
+// amortizes the one transpose over the whole batch.
+
+void Conv1d::TransposeFilters(util::Matrix* wt) const {
+  util::TransposeInto(w_.value, wt);
+}
 
 void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
   assert(x.cols() == in_dim_);
@@ -53,29 +68,89 @@ void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
   const int interior = t - window_ + 1;
   const int ib = padding_ == Padding::kSame ? (window_ - 1) / 2 : 0;
   const int ie = ib + std::max(0, interior);
+  util::WorkspaceScope scope;
+  util::Matrix& wt = scope.NewMatrix();
+  TransposeFilters(&wt);
   if (interior > 0) {
     util::GemmRaw(interior, f, k_dim, 1.0f, x.data(), in_dim_,
-                  util::Trans::kNo, w_.value.data(), k_dim, util::Trans::kYes,
-                  1.0f, y->Row(ib), f);
+                  util::Trans::kNo, wt.data(), f, util::Trans::kNo, 1.0f,
+                  y->Row(ib), f);
   }
 
-  const auto boundary_row = [&](int o) {
-    const int start = WindowStart(o);
-    const int lo = std::max(0, start);
-    const int hi = std::min(t, start + window_);
-    const int off = (lo - start) * in_dim_;
-    const int len = (hi - lo) * in_dim_;
-    const float* xr = x.Row(lo);
-    float* yr = y->Row(o);
-    for (int fi = 0; fi < f; ++fi) {
-      const float* wr = w_.value.Row(fi) + off;
-      float s = 0.0f;
-      for (int k = 0; k < len; ++k) s += xr[k] * wr[k];
-      yr[fi] += s;
+  for (int o = 0; o < std::min(ib, out_rows); ++o) {
+    AccumulateBoundaryRow(wt, x.data(), t, o, y->Row(o));
+  }
+  for (int o = ie; o < out_rows; ++o) {
+    AccumulateBoundaryRow(wt, x.data(), t, o, y->Row(o));
+  }
+}
+
+void Conv1d::AccumulateBoundaryRow(const util::Matrix& wt, const float* x_base,
+                                   int t, int o, float* yr) const {
+  const int start = WindowStart(o);
+  const int lo = std::max(0, start);
+  const int hi = std::min(t, start + window_);
+  const int off = (lo - start) * in_dim_;
+  const int len = (hi - lo) * in_dim_;
+  const float* xr = x_base + static_cast<size_t>(lo) * in_dim_;
+  const int f = filters();
+  // m = 1 slice of the interior NN GEMM over the clipped window: yr already
+  // holds the bias, products accumulate in ascending-k order with the inner
+  // loop running over the F independent filter columns (vectorizable).
+  for (int k = 0; k < len; ++k) {
+    const float xv = xr[k];
+    const float* __restrict wr = wt.Row(off + k);
+    for (int j = 0; j < f; ++j) yr[j] += xv * wr[j];
+  }
+}
+
+void Conv1d::ForwardPacked(const util::Matrix& x_packed, int batch, int t,
+                           util::Matrix* y_packed) const {
+  assert(x_packed.rows() == batch * t);
+  assert(t == 0 || x_packed.cols() == in_dim_);
+  const int out_rows = OutRows(t);
+  const int f = filters();
+  const int k_dim = window_ * in_dim_;
+  y_packed->ResizeNoZero(batch * out_rows, f);
+  const float* bias = b_.value.Row(0);
+  for (int o = 0; o < batch * out_rows; ++o) {
+    std::copy(bias, bias + f, y_packed->Row(o));
+  }
+
+  const int interior = t - window_ + 1;
+  const int ib = padding_ == Padding::kSame ? (window_ - 1) / 2 : 0;
+  const int ie = ib + std::max(0, interior);
+  util::WorkspaceScope scope;
+  util::Matrix& wt = scope.NewMatrix();
+  TransposeFilters(&wt);
+  if (interior > 0) {
+    // One interior GEMM per instance, written straight into its y_packed
+    // block — the exact n/k/lda/kernel of Forward's interior GEMM, so each
+    // instance's output is bit-identical; the filter transpose is done once
+    // for the whole batch. A single GEMM over the whole packed buffer would
+    // also cover the window-1 windows straddling each instance boundary; at
+    // these sequence lengths that is 20-40% wasted rows plus a staging
+    // copy, measurably slower than skipping them.
+    for (int b = 0; b < batch; ++b) {
+      util::GemmRaw(interior, f, k_dim, 1.0f,
+                    x_packed.data() + static_cast<size_t>(b) * t * in_dim_,
+                    in_dim_, util::Trans::kNo, wt.data(), f, util::Trans::kNo,
+                    1.0f, y_packed->Row(b * out_rows + ib), f);
     }
-  };
-  for (int o = 0; o < std::min(ib, out_rows); ++o) boundary_row(o);
-  for (int o = ie; o < out_rows; ++o) boundary_row(o);
+  }
+
+  for (int b = 0; b < batch; ++b) {
+    const float* x_base = x_packed.data() + static_cast<size_t>(b) * t * in_dim_;
+    float* y_base = y_packed->Row(b * out_rows);
+    for (int o = 0; o < std::min(ib, out_rows); ++o) {
+      AccumulateBoundaryRow(wt, x_base, t, o,
+                            y_base + static_cast<size_t>(o) * f);
+    }
+    for (int o = ie; o < out_rows; ++o) {
+      AccumulateBoundaryRow(wt, x_base, t, o,
+                            y_base + static_cast<size_t>(o) * f);
+    }
+  }
 }
 
 void Conv1d::Backward(const util::Matrix& x, const util::Matrix& grad_y,

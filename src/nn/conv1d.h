@@ -41,6 +41,18 @@ class Conv1d {
   // from multiple threads (scratch buffers are thread-local).
   void Forward(const util::Matrix& x, util::Matrix* y) const;
 
+  // Batched forward over `batch` equal-length sequences packed row-major into
+  // x_packed ((batch * t) x in_dim; instance b occupies rows [b*t, (b+1)*t)).
+  // y_packed gets the same instance-major layout, (batch * OutRows(t)) x
+  // filters. Each instance's block is byte-for-byte what Forward produces on
+  // its slice: all interior windows of the packed buffer go through one
+  // GemmRaw of the exact same shape (n, k, lda) as Forward's — the windows
+  // that straddle an instance boundary are computed into workspace scratch
+  // and discarded — and boundary rows reuse Forward's scalar clipped-window
+  // path. Scratch lives in the per-thread util::Workspace arena.
+  void ForwardPacked(const util::Matrix& x_packed, int batch, int t,
+                     util::Matrix* y_packed) const;
+
   // Accumulates parameter grads; writes dL/dx (same shape as x) when grad_x
   // is non-null.
   void Backward(const util::Matrix& x, const util::Matrix& grad_y,
@@ -62,6 +74,19 @@ class Conv1d {
   int WindowStart(int o) const {
     return padding_ == Padding::kSame ? o - (window_ - 1) / 2 : o;
   }
+
+  // Adds output row `o` of a t-row input starting at `x_base` into `yr`
+  // (which already holds the bias), over the clipped window overlap, as an
+  // m = 1 slice of the interior NN GEMM against the transposed filters `wt`.
+  // Shared by Forward and ForwardPacked so both compute boundary rows with
+  // the identical accumulation order.
+  void AccumulateBoundaryRow(const util::Matrix& wt, const float* x_base,
+                             int t, int o, float* yr) const;
+
+  // Writes the filter bank transposed to (window * in_dim) x filters, the NN
+  // GEMM operand of the interior passes. Shared by Forward and ForwardPacked
+  // so both run the interior windows through the identical kernel.
+  void TransposeFilters(util::Matrix* wt) const;
 
   int window_;
   int in_dim_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/activations.h"
+#include "util/workspace.h"
 
 namespace lncl::nn {
 
@@ -35,6 +36,16 @@ thread_local util::Matrix tls_dz, tls_dr, tls_dc, tls_hprev, tls_rh;
 
 }  // namespace
 
+// Both forward passes below run every gate product in the NN Gemm form
+// against per-call transposed weights (see TransposeInto): the inner loop
+// then updates h_dim independent accumulators with stride-1 loads, which
+// vectorizes, unlike the NT form's per-output dot products. GemmNN computes
+// each output row independently of the total row count, so row b of a
+// batched recurrent product in ForwardPacked is bit-identical to Forward's
+// one-row product on lane b — the packed path stays byte-for-byte equal to
+// the per-instance path. The transposes are h x h / h x in scratch copies,
+// amortized over the whole sequence (and in ForwardPacked over the batch).
+
 void Gru::Forward(const util::Matrix& x, Cache* cache,
                   util::Matrix* h_out) const {
   assert(x.cols() == in_dim());
@@ -45,20 +56,40 @@ void Gru::Forward(const util::Matrix& x, Cache* cache,
   cache->r.ResizeNoZero(t_len, h_dim);
   cache->c.ResizeNoZero(t_len, h_dim);
 
+  util::WorkspaceScope scope;
+  util::Matrix& wzt = scope.NewMatrix();
+  util::Matrix& wrt = scope.NewMatrix();
+  util::Matrix& wct = scope.NewMatrix();
+  util::Matrix& uzt = scope.NewMatrix();
+  util::Matrix& urt = scope.NewMatrix();
+  util::Matrix& uct = scope.NewMatrix();
+  util::TransposeInto(wz_.value, &wzt);
+  util::TransposeInto(wr_.value, &wrt);
+  util::TransposeInto(wc_.value, &wct);
+  util::TransposeInto(uz_.value, &uzt);
+  util::TransposeInto(ur_.value, &urt);
+  util::TransposeInto(uc_.value, &uct);
+
   // Input-side gate pre-activations for every timestep in one GEMM each:
   // GX_g = X * W_g^T. Only the h x h recurrent products remain sequential.
-  util::Gemm(1.0f, x, util::Trans::kNo, wz_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wzt, util::Trans::kNo, 0.0f,
              &tls_gxz);
-  util::Gemm(1.0f, x, util::Trans::kNo, wr_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wrt, util::Trans::kNo, 0.0f,
              &tls_gxr);
-  util::Gemm(1.0f, x, util::Trans::kNo, wc_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wct, util::Trans::kNo, 0.0f,
              &tls_gxc);
 
   util::Vector h_prev(h_dim, 0.0f);
-  util::Vector tmp_b, rh(h_dim);
+  util::Vector tmp_b(h_dim), rh(h_dim);
   const float* bz = bz_.value.Row(0);
   const float* br = br_.value.Row(0);
   const float* bc = bc_.value.Row(0);
+  const auto recur = [h_dim](const util::Matrix& ut, const util::Vector& v,
+                             util::Vector* out) {
+    util::GemmRaw(1, h_dim, h_dim, 1.0f, v.data(), h_dim, util::Trans::kNo,
+                  ut.data(), h_dim, util::Trans::kNo, 0.0f, out->data(),
+                  h_dim);
+  };
   for (int t = 0; t < t_len; ++t) {
     float* z = cache->z.Row(t);
     float* r = cache->r.Row(t);
@@ -67,20 +98,20 @@ void Gru::Forward(const util::Matrix& x, Cache* cache,
 
     // z_t
     const float* gxz = tls_gxz.Row(t);
-    util::MatVec(uz_.value, h_prev, &tmp_b);
+    recur(uzt, h_prev, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
       z[k] = Sigmoid(gxz[k] + tmp_b[k] + bz[k]);
     }
     // r_t
     const float* gxr = tls_gxr.Row(t);
-    util::MatVec(ur_.value, h_prev, &tmp_b);
+    recur(urt, h_prev, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
       r[k] = Sigmoid(gxr[k] + tmp_b[k] + br[k]);
     }
     // c_t
     const float* gxc = tls_gxc.Row(t);
     for (int k = 0; k < h_dim; ++k) rh[k] = r[k] * h_prev[k];
-    util::MatVec(uc_.value, rh, &tmp_b);
+    recur(uct, rh, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
       c[k] = std::tanh(gxc[k] + tmp_b[k] + bc[k]);
     }
@@ -91,6 +122,104 @@ void Gru::Forward(const util::Matrix& x, Cache* cache,
     }
   }
   *h_out = cache->h;
+}
+
+void Gru::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
+                        util::Matrix* h_packed) const {
+  assert(x_packed.rows() == batch * t_len);
+  assert(t_len == 0 || x_packed.cols() == in_dim());
+  const int h_dim = hidden_dim();
+  h_packed->ResizeNoZero(batch * t_len, h_dim);
+  if (batch == 0 || t_len == 0) return;
+
+  util::WorkspaceScope scope;
+  util::Matrix& wzt = scope.NewMatrix();
+  util::Matrix& wrt = scope.NewMatrix();
+  util::Matrix& wct = scope.NewMatrix();
+  util::Matrix& uzt = scope.NewMatrix();
+  util::Matrix& urt = scope.NewMatrix();
+  util::Matrix& uct = scope.NewMatrix();
+  util::TransposeInto(wz_.value, &wzt);
+  util::TransposeInto(wr_.value, &wrt);
+  util::TransposeInto(wc_.value, &wct);
+  util::TransposeInto(uz_.value, &uzt);
+  util::TransposeInto(ur_.value, &urt);
+  util::TransposeInto(uc_.value, &uct);
+
+  // Input-side gate pre-activations for every (instance, step) row at once —
+  // the same per-row GEMMs as Forward, just over the packed rows.
+  util::Matrix& gx_z = scope.NewMatrix();
+  util::Matrix& gx_r = scope.NewMatrix();
+  util::Matrix& gx_c = scope.NewMatrix();
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wzt, util::Trans::kNo, 0.0f,
+             &gx_z);
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wrt, util::Trans::kNo, 0.0f,
+             &gx_r);
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wct, util::Trans::kNo, 0.0f,
+             &gx_c);
+
+  util::Matrix& h_prev = scope.NewMatrix();
+  h_prev.Resize(batch, h_dim);  // zero initial state, as in Forward
+  util::Matrix& zs = scope.NewMatrix(batch, h_dim);
+  util::Matrix& rs = scope.NewMatrix(batch, h_dim);
+  util::Matrix& cs = scope.NewMatrix(batch, h_dim);
+  util::Matrix& rh = scope.NewMatrix(batch, h_dim);
+  util::Matrix& tmp = scope.NewMatrix();
+  const float* bz = bz_.value.Row(0);
+  const float* br = br_.value.Row(0);
+  const float* bc = bc_.value.Row(0);
+  for (int t = 0; t < t_len; ++t) {
+    // z_t for all lanes: row b of H_prev * Uz^T is exactly Forward's one-row
+    // recurrent product — the batch dimension only adds GEMM rows.
+    util::Gemm(1.0f, h_prev, util::Trans::kNo, uzt, util::Trans::kNo, 0.0f,
+               &tmp);
+    for (int b = 0; b < batch; ++b) {
+      const float* gxz = gx_z.Row(b * t_len + t);
+      const float* tmp_b = tmp.Row(b);
+      float* z = zs.Row(b);
+      for (int k = 0; k < h_dim; ++k) {
+        z[k] = Sigmoid(gxz[k] + tmp_b[k] + bz[k]);
+      }
+    }
+    // r_t
+    util::Gemm(1.0f, h_prev, util::Trans::kNo, urt, util::Trans::kNo, 0.0f,
+               &tmp);
+    for (int b = 0; b < batch; ++b) {
+      const float* gxr = gx_r.Row(b * t_len + t);
+      const float* tmp_b = tmp.Row(b);
+      float* r = rs.Row(b);
+      for (int k = 0; k < h_dim; ++k) {
+        r[k] = Sigmoid(gxr[k] + tmp_b[k] + br[k]);
+      }
+    }
+    // c_t
+    for (int b = 0; b < batch; ++b) {
+      const float* r = rs.Row(b);
+      const float* hp = h_prev.Row(b);
+      float* rhb = rh.Row(b);
+      for (int k = 0; k < h_dim; ++k) rhb[k] = r[k] * hp[k];
+    }
+    util::Gemm(1.0f, rh, util::Trans::kNo, uct, util::Trans::kNo, 0.0f, &tmp);
+    for (int b = 0; b < batch; ++b) {
+      const float* gxc = gx_c.Row(b * t_len + t);
+      const float* tmp_b = tmp.Row(b);
+      float* c = cs.Row(b);
+      for (int k = 0; k < h_dim; ++k) {
+        c[k] = std::tanh(gxc[k] + tmp_b[k] + bc[k]);
+      }
+    }
+    // h_t
+    for (int b = 0; b < batch; ++b) {
+      const float* z = zs.Row(b);
+      const float* c = cs.Row(b);
+      float* hp = h_prev.Row(b);
+      float* h = h_packed->Row(b * t_len + t);
+      for (int k = 0; k < h_dim; ++k) {
+        h[k] = (1.0f - z[k]) * hp[k] + z[k] * c[k];
+        hp[k] = h[k];
+      }
+    }
+  }
 }
 
 void Gru::Backward(const util::Matrix& x, const Cache& cache,

@@ -38,6 +38,16 @@ class Gru {
   // x: T x in_dim. h_out: T x hidden_dim (same data as cache->h).
   void Forward(const util::Matrix& x, Cache* cache, util::Matrix* h_out) const;
 
+  // Batched inference over `batch` equal-length sequences packed row-major
+  // into x_packed ((batch * t) x in_dim, instance-major); h_packed gets the
+  // hidden states in the same layout. Bit-identical per instance to Forward:
+  // the input-side projections are the same per-row GEMMs over more rows, and
+  // each step's recurrent MatVec becomes one [batch, H] x Uᵀ GEMM whose
+  // per-row reduction order equals MatVec's. No cache is produced (inference
+  // only). Scratch lives in the per-thread util::Workspace arena.
+  void ForwardPacked(const util::Matrix& x_packed, int batch, int t,
+                     util::Matrix* h_packed) const;
+
   // grad_h: T x hidden_dim = dL/dh_t for every step. Accumulates parameter
   // grads; writes dL/dx when grad_x is non-null.
   void Backward(const util::Matrix& x, const Cache& cache,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/activations.h"
+#include "util/workspace.h"
 
 namespace lncl::nn {
 
@@ -53,21 +54,43 @@ void Lstm::Forward(const util::Matrix& x, Cache* cache,
   cache->o.ResizeNoZero(t_len, h_dim);
   cache->g.ResizeNoZero(t_len, h_dim);
 
+  // Every gate product runs in the NN Gemm form against per-call transposed
+  // weights; see gru.cc for the vectorization + bit-identity rationale.
+  util::WorkspaceScope scope;
+  util::Matrix& wit = scope.NewMatrix();
+  util::Matrix& wft = scope.NewMatrix();
+  util::Matrix& wot = scope.NewMatrix();
+  util::Matrix& wgt = scope.NewMatrix();
+  util::Matrix& uit = scope.NewMatrix();
+  util::Matrix& uft = scope.NewMatrix();
+  util::Matrix& uot = scope.NewMatrix();
+  util::Matrix& ugt = scope.NewMatrix();
+  util::TransposeInto(wi_.value, &wit);
+  util::TransposeInto(wf_.value, &wft);
+  util::TransposeInto(wo_.value, &wot);
+  util::TransposeInto(wg_.value, &wgt);
+  util::TransposeInto(ui_.value, &uit);
+  util::TransposeInto(uf_.value, &uft);
+  util::TransposeInto(uo_.value, &uot);
+  util::TransposeInto(ug_.value, &ugt);
+
   // Input-side pre-activations for all four gates, one GEMM per gate.
-  util::Gemm(1.0f, x, util::Trans::kNo, wi_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wit, util::Trans::kNo, 0.0f,
              &tls_gxi);
-  util::Gemm(1.0f, x, util::Trans::kNo, wf_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wft, util::Trans::kNo, 0.0f,
              &tls_gxf);
-  util::Gemm(1.0f, x, util::Trans::kNo, wo_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wot, util::Trans::kNo, 0.0f,
              &tls_gxo);
-  util::Gemm(1.0f, x, util::Trans::kNo, wg_.value, util::Trans::kYes, 0.0f,
+  util::Gemm(1.0f, x, util::Trans::kNo, wgt, util::Trans::kNo, 0.0f,
              &tls_gxg);
 
   util::Vector h_prev(h_dim, 0.0f), c_prev(h_dim, 0.0f);
-  util::Vector b;
-  auto gate = [&](const Parameter& u, const Parameter& bias, const float* gx,
-                  float* out, bool tanh_act) {
-    util::MatVec(u.value, h_prev, &b);
+  util::Vector b(h_dim);
+  auto gate = [&](const util::Matrix& ut, const Parameter& bias,
+                  const float* gx, float* out, bool tanh_act) {
+    util::GemmRaw(1, h_dim, h_dim, 1.0f, h_prev.data(), h_dim,
+                  util::Trans::kNo, ut.data(), h_dim, util::Trans::kNo, 0.0f,
+                  b.data(), h_dim);
     const float* bv = bias.value.Row(0);
     for (int k = 0; k < h_dim; ++k) {
       const float pre = gx[k] + b[k] + bv[k];
@@ -81,10 +104,10 @@ void Lstm::Forward(const util::Matrix& x, Cache* cache,
     float* g = cache->g.Row(t);
     float* c = cache->c.Row(t);
     float* h = cache->h.Row(t);
-    gate(ui_, bi_, tls_gxi.Row(t), i, false);
-    gate(uf_, bf_, tls_gxf.Row(t), f, false);
-    gate(uo_, bo_, tls_gxo.Row(t), o, false);
-    gate(ug_, bg_, tls_gxg.Row(t), g, true);
+    gate(uit, bi_, tls_gxi.Row(t), i, false);
+    gate(uft, bf_, tls_gxf.Row(t), f, false);
+    gate(uot, bo_, tls_gxo.Row(t), o, false);
+    gate(ugt, bg_, tls_gxg.Row(t), g, true);
     for (int k = 0; k < h_dim; ++k) {
       c[k] = f[k] * c_prev[k] + i[k] * g[k];
       h[k] = o[k] * std::tanh(c[k]);
@@ -93,6 +116,95 @@ void Lstm::Forward(const util::Matrix& x, Cache* cache,
     }
   }
   *h_out = cache->h;
+}
+
+void Lstm::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
+                         util::Matrix* h_packed) const {
+  assert(x_packed.rows() == batch * t_len);
+  assert(t_len == 0 || x_packed.cols() == in_dim());
+  const int h_dim = hidden_dim();
+  h_packed->ResizeNoZero(batch * t_len, h_dim);
+  if (batch == 0 || t_len == 0) return;
+
+  util::WorkspaceScope scope;
+  util::Matrix& wit = scope.NewMatrix();
+  util::Matrix& wft = scope.NewMatrix();
+  util::Matrix& wot = scope.NewMatrix();
+  util::Matrix& wgt = scope.NewMatrix();
+  util::Matrix& uit = scope.NewMatrix();
+  util::Matrix& uft = scope.NewMatrix();
+  util::Matrix& uot = scope.NewMatrix();
+  util::Matrix& ugt = scope.NewMatrix();
+  util::TransposeInto(wi_.value, &wit);
+  util::TransposeInto(wf_.value, &wft);
+  util::TransposeInto(wo_.value, &wot);
+  util::TransposeInto(wg_.value, &wgt);
+  util::TransposeInto(ui_.value, &uit);
+  util::TransposeInto(uf_.value, &uft);
+  util::TransposeInto(uo_.value, &uot);
+  util::TransposeInto(ug_.value, &ugt);
+
+  util::Matrix& gx_i = scope.NewMatrix();
+  util::Matrix& gx_f = scope.NewMatrix();
+  util::Matrix& gx_o = scope.NewMatrix();
+  util::Matrix& gx_g = scope.NewMatrix();
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wit, util::Trans::kNo, 0.0f,
+             &gx_i);
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wft, util::Trans::kNo, 0.0f,
+             &gx_f);
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wot, util::Trans::kNo, 0.0f,
+             &gx_o);
+  util::Gemm(1.0f, x_packed, util::Trans::kNo, wgt, util::Trans::kNo, 0.0f,
+             &gx_g);
+
+  util::Matrix& h_prev = scope.NewMatrix();
+  util::Matrix& c_prev = scope.NewMatrix();
+  h_prev.Resize(batch, h_dim);  // zero initial states, as in Forward
+  c_prev.Resize(batch, h_dim);
+  util::Matrix& is = scope.NewMatrix(batch, h_dim);
+  util::Matrix& fs = scope.NewMatrix(batch, h_dim);
+  util::Matrix& os = scope.NewMatrix(batch, h_dim);
+  util::Matrix& gs = scope.NewMatrix(batch, h_dim);
+  util::Matrix& tmp = scope.NewMatrix();
+  // Row b of H_prev * Uᵀ is exactly Forward's one-row recurrent product; the
+  // elementwise gate expression is Forward's, verbatim.
+  auto gate = [&](const util::Matrix& ut, const Parameter& bias,
+                  const util::Matrix& gx, util::Matrix* out, bool tanh_act,
+                  int t) {
+    util::Gemm(1.0f, h_prev, util::Trans::kNo, ut, util::Trans::kNo, 0.0f,
+               &tmp);
+    const float* bv = bias.value.Row(0);
+    for (int b = 0; b < batch; ++b) {
+      const float* gxr = gx.Row(b * t_len + t);
+      const float* tb = tmp.Row(b);
+      float* o = out->Row(b);
+      for (int k = 0; k < h_dim; ++k) {
+        const float pre = gxr[k] + tb[k] + bv[k];
+        o[k] = tanh_act ? std::tanh(pre) : Sigmoid(pre);
+      }
+    }
+  };
+  for (int t = 0; t < t_len; ++t) {
+    gate(uit, bi_, gx_i, &is, false, t);
+    gate(uft, bf_, gx_f, &fs, false, t);
+    gate(uot, bo_, gx_o, &os, false, t);
+    gate(ugt, bg_, gx_g, &gs, true, t);
+    for (int b = 0; b < batch; ++b) {
+      const float* i = is.Row(b);
+      const float* f = fs.Row(b);
+      const float* o = os.Row(b);
+      const float* g = gs.Row(b);
+      float* cp = c_prev.Row(b);
+      float* hp = h_prev.Row(b);
+      float* h = h_packed->Row(b * t_len + t);
+      for (int k = 0; k < h_dim; ++k) {
+        const float c = f[k] * cp[k] + i[k] * g[k];
+        h[k] = o[k] * std::tanh(c);
+        cp[k] = c;
+        hp[k] = h[k];
+      }
+    }
+  }
 }
 
 void Lstm::Backward(const util::Matrix& x, const Cache& cache,

@@ -41,6 +41,13 @@ class Lstm {
 
   void Forward(const util::Matrix& x, Cache* cache, util::Matrix* h_out) const;
 
+  // Batched inference over `batch` equal-length sequences packed row-major
+  // into x_packed ((batch * t) x in_dim, instance-major); h_packed gets the
+  // hidden states in the same layout, bit-identical per instance to Forward
+  // (see nn::Gru::ForwardPacked for the argument).
+  void ForwardPacked(const util::Matrix& x_packed, int batch, int t,
+                     util::Matrix* h_packed) const;
+
   // grad_h: T x H = dL/dh_t for every step. Accumulates parameter grads;
   // writes dL/dx when grad_x is non-null.
   void Backward(const util::Matrix& x, const Cache& cache,

@@ -25,6 +25,19 @@ void MaxOverTimeForward(const util::Matrix& x, util::Vector* out,
   }
 }
 
+void MaxOverTimeRange(const util::Matrix& x, int row_begin, int row_end,
+                      float* out) {
+  const int f = x.cols();
+  assert(row_end > row_begin);
+  for (int c = 0; c < f; ++c) {
+    float best = x(row_begin, c);
+    for (int r = row_begin + 1; r < row_end; ++r) {
+      if (x(r, c) > best) best = x(r, c);
+    }
+    out[c] = best;
+  }
+}
+
 void MaxOverTimeBackward(const std::vector<int>& argmax,
                          const util::Vector& grad_out, int rows,
                          util::Matrix* grad_x) {

@@ -13,6 +13,14 @@ namespace lncl::nn {
 void MaxOverTimeForward(const util::Matrix& x, util::Vector* out,
                         std::vector<int>* argmax);
 
+// Max-over-time over the row range [row_begin, row_end) of x, written to
+// out[0..F) — the batched-inference entry (one packed conv output holds
+// several instances' rows back to back). Same strict-> ascending scan as
+// MaxOverTimeForward on the slice, so the result is bit-identical; no argmax
+// (inference only).
+void MaxOverTimeRange(const util::Matrix& x, int row_begin, int row_end,
+                      float* out);
+
 // Routes dL/dout back to the winning rows; grad_x is resized to rows x F and
 // zero elsewhere.
 void MaxOverTimeBackward(const std::vector<int>& argmax,

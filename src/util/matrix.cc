@@ -218,6 +218,16 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   Gemm(1.0f, a, Trans::kNo, b, Trans::kYes, 0.0f, out);
 }
 
+void TransposeInto(const Matrix& src, Matrix* out) {
+  const int rows = src.rows();
+  const int cols = src.cols();
+  out->ResizeNoZero(cols, rows);
+  for (int i = 0; i < rows; ++i) {
+    const float* sr = src.Row(i);
+    for (int j = 0; j < cols; ++j) (*out)(j, i) = sr[j];
+  }
+}
+
 void MatVec(const Matrix& w, const Vector& x, Vector* y) {
   assert(static_cast<int>(x.size()) == w.cols());
   const int m = w.rows();

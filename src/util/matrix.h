@@ -124,6 +124,12 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);
 // out = a * b^T, where a is (rows_out x k) and b is (cols_out x k).
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out);
 
+// out = src^T; out is resized to cols x rows. Layers transpose a weight
+// matrix once per call so the repeated products over it can run in the NN
+// Gemm form, whose inner loop over independent output columns vectorizes
+// (the NT form's per-output dot products cannot without reordering sums).
+void TransposeInto(const Matrix& src, Matrix* out);
+
 // y = W (m x n) * x (n) ; y is resized to m.
 void MatVec(const Matrix& w, const Vector& x, Vector* y);
 

@@ -1,0 +1,36 @@
+#ifndef LNCL_UTIL_TIMER_H_
+#define LNCL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lncl::util {
+
+// Monotonic wall-clock stopwatch for phase timing (epoch-loop breakdowns,
+// bench end-to-end measurements).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds since construction / the last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Seconds(), then Reset() — for accumulating consecutive phases.
+  double Lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lncl::util
+
+#endif  // LNCL_UTIL_TIMER_H_

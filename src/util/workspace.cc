@@ -1,0 +1,15 @@
+#include "util/workspace.h"
+
+namespace lncl::util {
+
+Workspace& Workspace::PerThread() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Matrix* Workspace::Acquire() {
+  if (in_use_ == pool_.size()) pool_.emplace_back();
+  return &pool_[in_use_++];
+}
+
+}  // namespace lncl::util

@@ -1,0 +1,80 @@
+#ifndef LNCL_UTIL_WORKSPACE_H_
+#define LNCL_UTIL_WORKSPACE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "util/matrix.h"
+
+namespace lncl::util {
+
+// Per-thread arena of reusable Matrix temporaries for the batched prediction
+// kernels.
+//
+// A batched forward pass needs a handful of scratch matrices (packed inputs,
+// GEMM staging buffers, per-step recurrent state) whose shapes change with
+// the bucket composition. Allocating them per call would put the heap on the
+// hot path; keeping them as thread_local statics in every layer scatters the
+// memory and leaks capacity into idle threads one layer at a time. The
+// workspace centralizes the pool: acquisition is a bump of a cursor into a
+// deque (pointer-stable, so nested scopes never invalidate each other), and
+// each Matrix keeps its capacity across reuses (Resize reuses allocations).
+//
+// Lifetime rules:
+//  * Acquire matrices only through WorkspaceScope; the scope restores the
+//    cursor on destruction, LIFO, so a matrix is valid until its scope dies.
+//  * Scopes nest: a layer kernel may open its own scope while its caller
+//    holds live workspace matrices (the deque guarantees their addresses
+//    survive the inner scope's acquisitions).
+//  * Never hand a workspace matrix across threads or store a reference
+//    beyond the scope that acquired it.
+class Workspace {
+ public:
+  // The calling thread's arena (created on first use, reused for the life of
+  // the thread).
+  static Workspace& PerThread();
+
+  struct Mark {
+    size_t in_use = 0;
+  };
+
+  Mark Save() const { return {in_use_}; }
+  void Restore(Mark mark) { in_use_ = mark.in_use; }
+
+  // Next free pooled matrix; contents are stale garbage from a previous use.
+  Matrix* Acquire();
+
+ private:
+  std::deque<Matrix> pool_;
+  size_t in_use_ = 0;
+};
+
+// RAII cursor mark over the calling thread's Workspace. All matrices handed
+// out by this scope are reclaimed (capacity kept, contents abandoned) when
+// the scope is destroyed.
+class WorkspaceScope {
+ public:
+  WorkspaceScope() : ws_(Workspace::PerThread()), mark_(ws_.Save()) {}
+  ~WorkspaceScope() { ws_.Restore(mark_); }
+
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+  // A pooled matrix with unspecified contents and shape.
+  Matrix& NewMatrix() { return *ws_.Acquire(); }
+
+  // A pooled matrix resized to rows x cols without initialization.
+  Matrix& NewMatrix(int rows, int cols) {
+    Matrix& m = *ws_.Acquire();
+    m.ResizeNoZero(rows, cols);
+    return m;
+  }
+
+ private:
+  Workspace& ws_;
+  Workspace::Mark mark_;
+};
+
+}  // namespace lncl::util
+
+#endif  // LNCL_UTIL_WORKSPACE_H_

@@ -71,7 +71,7 @@ TEST(ComputeQaTest, NoAnnotationsReturnsPrior) {
     probs(t, 2) = 0.3f;
   }
   crowd::InstanceAnnotations ann;
-  const Matrix qa = ComputeQa(probs, ann, {});
+  const Matrix qa = ComputeQa(probs, ann, crowd::ConfusionSet{});
   for (int t = 0; t < 2; ++t) {
     EXPECT_NEAR(qa(t, 1), 0.5, 1e-5);
   }
