@@ -1,9 +1,12 @@
 #include "bench_common.h"
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "util/check.h"
 #include "util/threadpool.h"
 
 namespace lncl::bench {
@@ -212,10 +215,41 @@ void PrintPhaseSeconds(const std::string& label,
             << "s)\n";
 }
 
+std::string FitDigest(const core::LogicLnclResult& result) {
+  // 64-bit FNV-1a over the exact bytes of every double in the outcome.
+  // Hashing bytes (not formatted values) makes the digest sensitive to
+  // single-ulp differences that fixed-precision printing would hide.
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const void* data, size_t n) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&mix](double x) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    mix(&bits, sizeof(bits));
+  };
+  mix_double(result.best_dev_score);
+  mix(&result.best_epoch, sizeof(result.best_epoch));
+  for (double x : result.dev_curve) mix_double(x);
+  for (double x : result.loss_curve) mix_double(x);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
 namespace {
 void WriteFitJson(std::ostream& os, const TimedFit& fit) {
   const core::PhaseSeconds& p = fit.result.phase_seconds;
   os << "    {\"mode\": \"" << fit.mode << "\", "
+     << "\"audit\": " << (LNCL_AUDIT_ENABLED ? "true" : "false") << ", "
+     << "\"result_digest\": \"" << FitDigest(fit.result) << "\", "
+     << "\"best_dev_score\": " << util::FormatFixed(
+            fit.result.best_dev_score, 10) << ", "
      << "\"fit_seconds\": " << util::FormatFixed(p.total, 4) << ", "
      << "\"epochs_run\": " << fit.result.epochs_run << ", "
      << "\"phase_seconds\": {"

@@ -1,5 +1,4 @@
-#ifndef LNCL_BENCH_BENCH_COMMON_H_
-#define LNCL_BENCH_BENCH_COMMON_H_
+#pragma once
 
 // Shared harness pieces for the table/figure benchmarks: experiment scales,
 // corpus + crowd construction, the paper's Table-I configurations, and
@@ -117,8 +116,17 @@ struct TimedFit {
 void PrintPhaseSeconds(const std::string& label,
                        const core::PhaseSeconds& phases);
 
+// FNV-1a over the raw bytes of the fit's numeric outcome (best dev score,
+// best epoch, and the full per-epoch dev/loss curves), as a 16-hex-digit
+// string. Any single-ulp divergence anywhere in the training trajectory
+// changes the curves, so equal digests across two binaries witness that
+// they computed bit-identical fits. scripts/bench_audit_overhead.sh uses
+// this to assert that -DLNCL_AUDIT=ON only reads: same seed, same digest.
+std::string FitDigest(const core::LogicLnclResult& result);
+
 // Writes results/BENCH_<id>.json: the bench-wide wall time plus, per timed
-// fit, the end-to-end Fit seconds and the per-phase breakdown. When both a
+// fit, the end-to-end Fit seconds, the per-phase breakdown, whether the
+// binary was an audit build, and FitDigest of the result. When both a
 // "batched" and a "per_instance" fit are present, also records their
 // end-to-end speedup (per_instance total / batched total).
 void EmitBenchJson(const std::string& id, double bench_seconds,
@@ -126,4 +134,3 @@ void EmitBenchJson(const std::string& id, double bench_seconds,
 
 }  // namespace lncl::bench
 
-#endif  // LNCL_BENCH_BENCH_COMMON_H_

@@ -1,27 +1,52 @@
 #!/usr/bin/env bash
-# Sanitizer sweep over the tier-1 test suite: builds and runs the tests
-# under ASan+UBSan, then under TSan (which exercises the deterministic
-# parallel training paths in determinism_test / util_test with real data
-# races flagged, not just bit-identity checked). Each sweep finishes with an
-# explicit run of the batched-prediction equivalence + determinism tests so
-# the PredictBatch bit-identity contract is checked under both sanitizers.
+# CI gate: lint first, then build-and-test sweeps.
 #
-#   scripts/check.sh              # both sweeps
-#   scripts/check.sh address,undefined
-#   scripts/check.sh thread
+# The lint pass (scripts/lint.sh) runs before anything is compiled: repo
+# conventions are the cheapest failures to surface. Then each requested
+# sweep builds the tree and runs the tier-1 suite:
+#
+#   audit              -DLNCL_AUDIT=ON: every LNCL_DCHECK / LNCL_AUDIT_*
+#                      numeric-invariant contract live (simplex posteriors,
+#                      row-stochastic confusions, finite gradients, poisoned
+#                      workspace arenas), plus the expect-fail death tests
+#                      in audit_test
+#   address,undefined  ASan + UBSan
+#   thread             TSan (exercises the deterministic parallel training
+#                      paths in determinism_test / util_test with real data
+#                      races flagged, not just bit-identity checked)
+#
+# Sanitizer sweeps finish with an explicit run of the batched-prediction
+# equivalence + determinism tests so the PredictBatch bit-identity contract
+# is checked under both sanitizers. All sweeps build with -DLNCL_WERROR=ON:
+# the tree must stay warning-clean under -Wall -Wextra -Wshadow.
+#
+#   scripts/check.sh              # lint + all three sweeps
+#   scripts/check.sh audit        # lint + audit sweep only
+#   scripts/check.sh thread       # lint + TSan only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-sweeps=("address,undefined" "thread")
+scripts/lint.sh
+
+sweeps=("audit" "address,undefined" "thread")
 if [ $# -ge 1 ]; then
   sweeps=("$@")
 fi
 
-for san in "${sweeps[@]}"; do
+for sweep in "${sweeps[@]}"; do
+  if [ "$sweep" = "audit" ]; then
+    build="build-audit-check"
+    echo "===== LNCL_AUDIT=ON (${build}) ====="
+    cmake -B "$build" -S . -DLNCL_AUDIT=ON -DLNCL_WERROR=ON >/dev/null
+    cmake --build "$build" -j "$(nproc)"
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+    continue
+  fi
+  san="$sweep"
   build="build-san-${san//,/ -}"
   build="${build// /}"
   echo "===== LNCL_SANITIZE=${san} (${build}) ====="
-  cmake -B "$build" -S . -DLNCL_SANITIZE="$san" \
+  cmake -B "$build" -S . -DLNCL_SANITIZE="$san" -DLNCL_WERROR=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$build" -j "$(nproc)"
   ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
@@ -29,4 +54,4 @@ for san in "${sweeps[@]}"; do
   ctest --test-dir "$build" --output-on-failure -R 'batch_predict|determinism'
 done
 
-echo "All sanitizer sweeps passed."
+echo "All check sweeps passed."

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repo-convention lint pass: runs the dependency-free rule linter
+# (tools/lint.py), proves each rule still fires via its fixture self-test,
+# then checks formatting with clang-format when the binary is available
+# (the rule linter never needs it, so CI without clang-format still gets
+# full convention coverage).
+#
+#   scripts/lint.sh         # lint + self-test + format check
+#   scripts/lint.sh --fix   # same, but clang-format rewrites files in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fix=0
+if [ "${1:-}" = "--fix" ]; then
+  fix=1
+fi
+
+echo "===== lint: repo conventions (tools/lint.py) ====="
+python3 tools/lint.py
+
+echo "===== lint: rule self-test (tools/lint_fixtures/) ====="
+python3 tools/lint.py --self-test
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "===== lint: clang-format ($([ "$fix" = 1 ] && echo fix || echo check)) ====="
+  files=$(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' 'bench/*.cc' \
+    'bench/*.h' 'examples/*.cc')
+  if [ "$fix" = 1 ]; then
+    # shellcheck disable=SC2086
+    clang-format -i $files
+  else
+    # shellcheck disable=SC2086
+    clang-format --dry-run -Werror $files
+  fi
+else
+  echo "lint: clang-format not installed; skipping format check"
+fi
+
+echo "Lint pass complete."

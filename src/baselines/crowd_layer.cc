@@ -1,13 +1,13 @@
 #include "baselines/crowd_layer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <string>
 
 #include "core/trainer.h"
 #include "eval/metrics.h"
 #include "inference/truth_inference.h"
+#include "util/check.h"
 
 namespace lncl::baselines {
 

@@ -1,5 +1,4 @@
-#ifndef LNCL_BASELINES_CROWD_LAYER_H_
-#define LNCL_BASELINES_CROWD_LAYER_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -87,4 +86,3 @@ class CrowdLayer {
 
 }  // namespace lncl::baselines
 
-#endif  // LNCL_BASELINES_CROWD_LAYER_H_

@@ -1,10 +1,10 @@
 #include "baselines/dl_dn.h"
 
-#include <cassert>
 
 #include "core/trainer.h"
 #include "eval/metrics.h"
 #include "inference/truth_inference.h"
+#include "util/check.h"
 
 namespace lncl::baselines {
 
@@ -54,7 +54,7 @@ void DlDn::Fit(const data::Dataset& train,
 
 util::Matrix DlDn::Ensemble(const data::Instance& x,
                             const std::vector<double>& weights) const {
-  assert(!networks_.empty());
+  LNCL_DCHECK(!networks_.empty());
   util::Matrix sum;
   double total_w = 0.0;
   for (size_t n = 0; n < networks_.size(); ++n) {

@@ -1,5 +1,4 @@
-#ifndef LNCL_BASELINES_DL_DN_H_
-#define LNCL_BASELINES_DL_DN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -57,4 +56,3 @@ class DlDn {
 
 }  // namespace lncl::baselines
 
-#endif  // LNCL_BASELINES_DL_DN_H_

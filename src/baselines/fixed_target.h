@@ -1,5 +1,4 @@
-#ifndef LNCL_BASELINES_FIXED_TARGET_H_
-#define LNCL_BASELINES_FIXED_TARGET_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -79,4 +78,3 @@ class FixedTargetTrainer {
 
 }  // namespace lncl::baselines
 
-#endif  // LNCL_BASELINES_FIXED_TARGET_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_BASELINES_TWO_STAGE_H_
-#define LNCL_BASELINES_TWO_STAGE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -81,4 +80,3 @@ std::vector<util::Matrix> HardenTargets(
 
 }  // namespace lncl::baselines
 
-#endif  // LNCL_BASELINES_TWO_STAGE_H_

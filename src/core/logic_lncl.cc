@@ -177,6 +177,8 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
             }
           }
         }
+        // Eq. 9 blend of two simplexes stays a simplex.
+        for (const util::Matrix& q : qa) LNCL_AUDIT_SIMPLEX(q);
         for (int i = begin; i < end; ++i) qf_[i] = std::move(qa[i - begin]);
         return;
       }
@@ -194,6 +196,7 @@ LogicLnclResult LogicLncl::FitInternal(const data::Dataset& train,
             }
           }
         }
+        LNCL_AUDIT_SIMPLEX(qa);
         qf_[i] = std::move(qa);
       }
     });

@@ -1,5 +1,4 @@
-#ifndef LNCL_CORE_LOGIC_LNCL_H_
-#define LNCL_CORE_LOGIC_LNCL_H_
+#pragma once
 
 #include <functional>
 #include <iosfwd>
@@ -164,4 +163,3 @@ class LogicLncl {
 
 }  // namespace lncl::core
 
-#endif  // LNCL_CORE_LOGIC_LNCL_H_

@@ -1,6 +1,7 @@
 #include "core/ner_rules.h"
 
 #include "data/bio.h"
+#include "util/check.h"
 
 namespace lncl::core {
 
@@ -49,6 +50,10 @@ util::Matrix CompilePenalty(const logic::RuleSet& type_rules) {
       }
     }
   }
+  // Grounded rule penalties feed exp(-C * pen) potentials; a non-finite or
+  // mis-shaped table would corrupt every DP projection downstream.
+  LNCL_AUDIT_SHAPE(pen, k, k);
+  LNCL_AUDIT_FINITE(pen);
   return pen;
 }
 

@@ -1,5 +1,4 @@
-#ifndef LNCL_CORE_NER_RULES_H_
-#define LNCL_CORE_NER_RULES_H_
+#pragma once
 
 #include <memory>
 
@@ -59,4 +58,3 @@ logic::RuleSet MakeTypeTransitionRules(double w_begin, double w_inside);
 
 }  // namespace lncl::core
 
-#endif  // LNCL_CORE_NER_RULES_H_

@@ -1,9 +1,9 @@
 #include "core/sentiment_rules.h"
 
-#include <cassert>
 #include <mutex>
 
 #include "data/sentiment_gen.h"
+#include "util/check.h"
 
 namespace lncl::core {
 
@@ -54,7 +54,7 @@ util::Matrix SentimentButRule::ApplyRule(const util::Matrix& q,
 util::Matrix SentimentButRule::Project(const data::Instance& x,
                                        const util::Matrix& q,
                                        double C) const {
-  assert(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
+  LNCL_DCHECK(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
   if (!GroundingFormed(x)) return q;
   return ApplyRule(q, model_->Predict(data::ClauseB(x)), C);
 }
@@ -62,7 +62,7 @@ util::Matrix SentimentButRule::Project(const data::Instance& x,
 void SentimentButRule::ProjectBatch(
     const std::vector<const data::Instance*>& xs,
     std::vector<util::Matrix>* qs, double C) const {
-  assert(qs->size() == xs.size());
+  LNCL_DCHECK(qs->size() == xs.size());
   std::vector<int> grounded;
   std::vector<data::Instance> clause_b;
   for (size_t i = 0; i < xs.size(); ++i) {
@@ -82,7 +82,7 @@ void SentimentButRule::ProjectBatch(
 
   for (size_t j = 0; j < grounded.size(); ++j) {
     util::Matrix& q = (*qs)[grounded[j]];
-    assert(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
+    LNCL_DCHECK(q.rows() == 1 && q.cols() == data::kNumSentimentClasses);
     q = ApplyRule(q, pbs[j], C);
   }
 }

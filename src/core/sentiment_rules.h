@@ -1,5 +1,4 @@
-#ifndef LNCL_CORE_SENTIMENT_RULES_H_
-#define LNCL_CORE_SENTIMENT_RULES_H_
+#pragma once
 
 #include <shared_mutex>
 #include <unordered_map>
@@ -68,4 +67,3 @@ class SentimentButRule : public logic::RuleProjector {
 
 }  // namespace lncl::core
 
-#endif  // LNCL_CORE_SENTIMENT_RULES_H_

@@ -1,10 +1,11 @@
 #include "core/trainer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace lncl::core {
 
@@ -13,7 +14,7 @@ double RunMinibatchEpoch(const data::Dataset& dataset,
                          const std::vector<float>& weights, int batch_size,
                          models::Model* model, nn::Optimizer* optimizer,
                          util::Rng* rng) {
-  assert(static_cast<int>(targets.size()) == dataset.size());
+  LNCL_DCHECK(static_cast<int>(targets.size()) == dataset.size());
   std::vector<int> order(dataset.size());
   std::iota(order.begin(), order.end(), 0);
   rng->Shuffle(&order);
@@ -54,8 +55,8 @@ double RunMinibatchEpochSharded(const data::Dataset& dataset,
                                 nn::Optimizer* optimizer, util::Rng* rng,
                                 util::Parallelizer* exec) {
   constexpr int kSlots = util::Parallelizer::kSlots;
-  assert(static_cast<int>(targets.size()) == dataset.size());
-  assert(static_cast<int>(slot_models.size()) == kSlots);
+  LNCL_DCHECK(static_cast<int>(targets.size()) == dataset.size());
+  LNCL_DCHECK(static_cast<int>(slot_models.size()) == kSlots);
   const int n = dataset.size();
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -66,7 +67,7 @@ double RunMinibatchEpochSharded(const data::Dataset& dataset,
   std::vector<std::vector<nn::Parameter*>> slot_params(slot_models.size());
   for (size_t s = 0; s < slot_models.size(); ++s) {
     slot_params[s] = slot_models[s]->Params();
-    assert(slot_params[s].size() == master_params.size());
+    LNCL_DCHECK(slot_params[s].size() == master_params.size());
   }
   const auto sync_replicas = [&] {
     for (size_t s = 0; s < slot_models.size(); ++s) {
@@ -144,6 +145,8 @@ util::Matrix ComputeQa(const util::Matrix& probs,
     const float inv = static_cast<float>(1.0 / sum);
     for (int m = 0; m < k; ++m) qa(t, m) *= inv;
   }
+  // Eq. 13: the truth posterior is a distribution per item.
+  LNCL_AUDIT_SIMPLEX(qa);
   return qa;
 }
 
@@ -192,6 +195,8 @@ util::Matrix ComputeQa(const util::Matrix& probs,
     const float inv = static_cast<float>(1.0 / sum);
     for (int m = 0; m < k; ++m) qa(t, m) *= inv;
   }
+  // Eq. 13: the truth posterior is a distribution per item.
+  LNCL_AUDIT_SIMPLEX(qa);
   return qa;
 }
 
@@ -246,6 +251,7 @@ void UpdateConfusions(const std::vector<util::Matrix>& qf,
       }
     }
   }
+  // NormalizeRows audits each matrix row-stochastic (Eq. 12).
   for (auto& pi : *confusions) pi.NormalizeRows(smoothing);
 }
 

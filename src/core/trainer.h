@@ -1,5 +1,4 @@
-#ifndef LNCL_CORE_TRAINER_H_
-#define LNCL_CORE_TRAINER_H_
+#pragma once
 
 #include <vector>
 
@@ -122,4 +121,3 @@ std::vector<float> AnnotatorCountWeights(const crowd::AnnotationSet& ann);
 
 }  // namespace lncl::core
 
-#endif  // LNCL_CORE_TRAINER_H_

@@ -1,6 +1,6 @@
 #include "crowd/annotation.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace lncl::crowd {
 
@@ -24,7 +24,7 @@ long AnnotationSet::TotalAnnotations() const {
 
 std::vector<util::Matrix> AnnotationSet::MajorityVote(
     const std::vector<int>& items_per_instance) const {
-  assert(items_per_instance.size() == instances_.size());
+  LNCL_DCHECK(items_per_instance.size() == instances_.size());
   std::vector<util::Matrix> result;
   result.reserve(instances_.size());
   for (size_t i = 0; i < instances_.size(); ++i) {
@@ -32,7 +32,7 @@ std::vector<util::Matrix> AnnotationSet::MajorityVote(
     util::Matrix q(items, num_classes_);
     std::vector<int> total(items, 0);
     for (const AnnotatorLabels& e : instances_[i].entries) {
-      assert(static_cast<int>(e.labels.size()) == items);
+      LNCL_DCHECK(static_cast<int>(e.labels.size()) == items);
       for (int t = 0; t < items; ++t) {
         q(t, e.labels[t]) += 1.0f;
         ++total[t];

@@ -1,5 +1,4 @@
-#ifndef LNCL_CROWD_ANNOTATION_H_
-#define LNCL_CROWD_ANNOTATION_H_
+#pragma once
 
 #include <vector>
 
@@ -62,4 +61,3 @@ class AnnotationSet {
 
 }  // namespace lncl::crowd
 
-#endif  // LNCL_CROWD_ANNOTATION_H_

@@ -1,7 +1,8 @@
 #include "crowd/confusion.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace lncl::crowd {
 
@@ -34,6 +35,9 @@ void ConfusionMatrix::NormalizeRows(double smoothing) {
       for (int c = 0; c < m_.cols(); ++c) row[c] *= inv;
     }
   }
+  // Eq. 12 closed form ends here: every annotator row must leave as a
+  // distribution over observed labels.
+  LNCL_AUDIT_ROW_STOCHASTIC(m_);
 }
 
 double ConfusionMatrix::Reliability() const {
@@ -43,7 +47,7 @@ double ConfusionMatrix::Reliability() const {
 }
 
 double ConfusionMatrix::Distance(const ConfusionMatrix& other) const {
-  assert(num_classes() == other.num_classes());
+  LNCL_DCHECK(num_classes() == other.num_classes());
   double sum = 0.0;
   for (int r = 0; r < m_.rows(); ++r) {
     for (int c = 0; c < m_.cols(); ++c) {

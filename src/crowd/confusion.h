@@ -1,5 +1,4 @@
-#ifndef LNCL_CROWD_CONFUSION_H_
-#define LNCL_CROWD_CONFUSION_H_
+#pragma once
 
 #include <vector>
 
@@ -51,4 +50,3 @@ ConfusionSet EmpiricalConfusions(const AnnotationSet& annotations,
 
 }  // namespace lncl::crowd
 
-#endif  // LNCL_CROWD_CONFUSION_H_

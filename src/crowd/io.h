@@ -1,5 +1,4 @@
-#ifndef LNCL_CROWD_IO_H_
-#define LNCL_CROWD_IO_H_
+#pragma once
 
 #include <istream>
 #include <ostream>
@@ -34,4 +33,3 @@ bool LoadSequenceAnswers(std::istream& is, int num_classes,
 
 }  // namespace lncl::crowd
 
-#endif  // LNCL_CROWD_IO_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_CROWD_NER_NOISE_H_
-#define LNCL_CROWD_NER_NOISE_H_
+#pragma once
 
 #include <vector>
 
@@ -31,4 +30,3 @@ std::vector<int> CorruptNerTags(const std::vector<int>& truth,
 
 }  // namespace lncl::crowd
 
-#endif  // LNCL_CROWD_NER_NOISE_H_

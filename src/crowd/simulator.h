@@ -1,5 +1,4 @@
-#ifndef LNCL_CROWD_SIMULATOR_H_
-#define LNCL_CROWD_SIMULATOR_H_
+#pragma once
 
 #include <vector>
 
@@ -126,4 +125,3 @@ class CrowdSimulator {
 
 }  // namespace lncl::crowd
 
-#endif  // LNCL_CROWD_SIMULATOR_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_CROWD_WEAK_SUPERVISION_H_
-#define LNCL_CROWD_WEAK_SUPERVISION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -58,4 +57,3 @@ std::vector<LabelingFunction> MakeSentimentLabelingFunctions(
 
 }  // namespace lncl::crowd
 
-#endif  // LNCL_CROWD_WEAK_SUPERVISION_H_

@@ -1,12 +1,12 @@
 #include "data/bio.h"
+#include "util/check.h"
 
 #include <array>
-#include <cassert>
 
 namespace lncl::data {
 
 int EntityTypeOf(int label) {
-  assert(label >= 1 && label < kNumBioLabels);
+  LNCL_DCHECK(label >= 1 && label < kNumBioLabels);
   return (label - 1) / 2;
 }
 
@@ -51,7 +51,7 @@ std::vector<EntitySpan> ExtractSpans(const std::vector<int>& tags) {
 }
 
 void WriteSpan(const EntitySpan& span, std::vector<int>* tags) {
-  assert(span.begin >= 0 && span.end <= static_cast<int>(tags->size()));
+  LNCL_DCHECK(span.begin >= 0 && span.end <= static_cast<int>(tags->size()));
   for (int i = span.begin; i < span.end; ++i) {
     (*tags)[i] = i == span.begin ? BeginLabel(span.type) : InsideLabel(span.type);
   }

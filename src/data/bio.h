@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_BIO_H_
-#define LNCL_DATA_BIO_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -60,4 +59,3 @@ bool IsValidBioSequence(const std::vector<int>& tags);
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_BIO_H_

@@ -1,6 +1,6 @@
 #include "data/dataset.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace lncl::data {
 
@@ -31,7 +31,7 @@ Dataset Subset(const Dataset& dataset, const std::vector<int>& indices) {
 }
 
 Instance ClauseB(const Instance& x) {
-  assert(x.contrast_index >= 0);
+  LNCL_DCHECK(x.contrast_index >= 0);
   Instance b;
   b.tokens.assign(x.tokens.begin() + x.contrast_index + 1, x.tokens.end());
   b.label = x.label;

@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_DATASET_H_
-#define LNCL_DATA_DATASET_H_
+#pragma once
 
 #include <vector>
 
@@ -65,4 +64,3 @@ Instance ClauseB(const Instance& x);
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_DATASET_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_EMBEDDING_H_
-#define LNCL_DATA_EMBEDDING_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -36,4 +35,3 @@ using EmbeddingPtr = std::shared_ptr<const EmbeddingTable>;
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_EMBEDDING_H_

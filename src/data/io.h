@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_IO_H_
-#define LNCL_DATA_IO_H_
+#pragma once
 
 #include <istream>
 #include <ostream>
@@ -37,4 +36,3 @@ bool LoadSentimentTsv(std::istream& is, Vocab* vocab, Dataset* dataset);
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_IO_H_

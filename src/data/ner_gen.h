@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_NER_GEN_H_
-#define LNCL_DATA_NER_GEN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -66,4 +65,3 @@ NerCorpus GenerateNerCorpus(const NerGenConfig& config, int train_size,
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_NER_GEN_H_

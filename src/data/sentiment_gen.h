@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_SENTIMENT_GEN_H_
-#define LNCL_DATA_SENTIMENT_GEN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -74,4 +73,3 @@ SentimentCorpus GenerateSentimentCorpus(const SentimentGenConfig& config,
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_SENTIMENT_GEN_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_DATA_VOCAB_H_
-#define LNCL_DATA_VOCAB_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -30,4 +29,3 @@ class Vocab {
 
 }  // namespace lncl::data
 
-#endif  // LNCL_DATA_VOCAB_H_

@@ -1,9 +1,9 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "data/bio.h"
+#include "util/check.h"
 
 namespace lncl::eval {
 
@@ -37,7 +37,7 @@ double Accuracy(const Predictor& predict, const data::Dataset& dataset) {
 
 double PosteriorAccuracy(const std::vector<util::Matrix>& posteriors,
                          const data::Dataset& dataset) {
-  assert(static_cast<int>(posteriors.size()) == dataset.size());
+  LNCL_DCHECK(static_cast<int>(posteriors.size()) == dataset.size());
   long correct = 0;
   long total = 0;
   for (int i = 0; i < dataset.size(); ++i) {
@@ -52,7 +52,7 @@ double PosteriorAccuracy(const std::vector<util::Matrix>& posteriors,
 
 PrF1 SpanF1(const std::vector<std::vector<int>>& predicted_tags,
             const data::Dataset& dataset) {
-  assert(static_cast<int>(predicted_tags.size()) == dataset.size());
+  LNCL_DCHECK(static_cast<int>(predicted_tags.size()) == dataset.size());
   long predicted = 0;
   long gold = 0;
   long matched = 0;

@@ -1,5 +1,4 @@
-#ifndef LNCL_EVAL_METRICS_H_
-#define LNCL_EVAL_METRICS_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -67,4 +66,3 @@ std::vector<int> ArgmaxRows(const util::Matrix& probs);
 
 }  // namespace lncl::eval
 
-#endif  // LNCL_EVAL_METRICS_H_

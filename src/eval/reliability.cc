@@ -1,7 +1,7 @@
 #include "eval/reliability.h"
+#include "util/check.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -10,8 +10,8 @@ namespace lncl::eval {
 ReliabilityReport CompareReliability(
     const crowd::ConfusionSet& estimated, const crowd::ConfusionSet& actual,
     const std::vector<long>& labels_per_annotator, long min_labels) {
-  assert(estimated.size() == actual.size());
-  assert(labels_per_annotator.size() == estimated.size());
+  LNCL_DCHECK(estimated.size() == actual.size());
+  LNCL_DCHECK(labels_per_annotator.size() == estimated.size());
   ReliabilityReport report;
   for (size_t j = 0; j < estimated.size(); ++j) {
     if (labels_per_annotator[j] <= min_labels) continue;

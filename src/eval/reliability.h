@@ -1,5 +1,4 @@
-#ifndef LNCL_EVAL_RELIABILITY_H_
-#define LNCL_EVAL_RELIABILITY_H_
+#pragma once
 
 #include <vector>
 
@@ -38,4 +37,3 @@ std::vector<int> TopAnnotatorsByVolume(
 
 }  // namespace lncl::eval
 
-#endif  // LNCL_EVAL_RELIABILITY_H_

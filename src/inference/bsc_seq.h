@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_BSC_SEQ_H_
-#define LNCL_INFERENCE_BSC_SEQ_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -44,4 +43,3 @@ class BscSeq : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_BSC_SEQ_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_CATD_H_
-#define LNCL_INFERENCE_CATD_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -37,4 +36,3 @@ class Catd : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_CATD_H_

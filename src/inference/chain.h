@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_CHAIN_H_
-#define LNCL_INFERENCE_CHAIN_H_
+#pragma once
 
 #include "util/chain.h"
 
@@ -12,4 +11,3 @@ using util::ChainForwardBackward;
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_CHAIN_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_DAWID_SKENE_H_
-#define LNCL_INFERENCE_DAWID_SKENE_H_
+#pragma once
 
 #include "crowd/confusion.h"
 #include "inference/truth_inference.h"
@@ -44,4 +43,3 @@ class DawidSkene : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_DAWID_SKENE_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_GLAD_H_
-#define LNCL_INFERENCE_GLAD_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -49,4 +48,3 @@ class Glad : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_GLAD_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_HMM_CROWD_H_
-#define LNCL_INFERENCE_HMM_CROWD_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -34,4 +33,3 @@ class HmmCrowd : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_HMM_CROWD_H_

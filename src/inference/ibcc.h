@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_IBCC_H_
-#define LNCL_INFERENCE_IBCC_H_
+#pragma once
 
 #include "inference/dawid_skene.h"
 
@@ -33,4 +32,3 @@ class Ibcc : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_IBCC_H_

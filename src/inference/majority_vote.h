@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_MAJORITY_VOTE_H_
-#define LNCL_INFERENCE_MAJORITY_VOTE_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -19,4 +18,3 @@ class MajorityVote : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_MAJORITY_VOTE_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_PM_H_
-#define LNCL_INFERENCE_PM_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -36,4 +35,3 @@ class Pm : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_PM_H_

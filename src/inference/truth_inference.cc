@@ -1,6 +1,6 @@
 #include "inference/truth_inference.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace lncl::inference {
 
@@ -12,7 +12,7 @@ std::vector<int> ItemsPerInstance(const data::Dataset& dataset) {
 
 ItemView FlattenItems(const crowd::AnnotationSet& annotations,
                       const std::vector<int>& items_per_instance) {
-  assert(static_cast<int>(items_per_instance.size()) ==
+  LNCL_DCHECK(static_cast<int>(items_per_instance.size()) ==
          annotations.num_instances());
   ItemView view;
   view.num_annotators = annotations.num_annotators();
@@ -27,7 +27,7 @@ ItemView FlattenItems(const crowd::AnnotationSet& annotations,
   view.items.resize(total);
   for (int i = 0; i < annotations.num_instances(); ++i) {
     for (const crowd::AnnotatorLabels& e : annotations.instance(i).entries) {
-      assert(static_cast<int>(e.labels.size()) == items_per_instance[i]);
+      LNCL_DCHECK(static_cast<int>(e.labels.size()) == items_per_instance[i]);
       for (size_t t = 0; t < e.labels.size(); ++t) {
         view.items[view.begin[i] + static_cast<int>(t)].labels.emplace_back(
             e.annotator, e.labels[t]);
@@ -39,7 +39,7 @@ ItemView FlattenItems(const crowd::AnnotationSet& annotations,
 
 std::vector<util::Matrix> UnflattenPosteriors(
     const ItemView& view, const std::vector<util::Vector>& posterior) {
-  assert(posterior.size() == view.items.size());
+  LNCL_DCHECK(posterior.size() == view.items.size());
   std::vector<util::Matrix> out;
   const int num_instances = static_cast<int>(view.begin.size()) - 1;
   out.reserve(num_instances);

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_TRUTH_INFERENCE_H_
-#define LNCL_INFERENCE_TRUTH_INFERENCE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -58,4 +57,3 @@ std::vector<util::Matrix> UnflattenPosteriors(
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_TRUTH_INFERENCE_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_INFERENCE_ZENCROWD_H_
-#define LNCL_INFERENCE_ZENCROWD_H_
+#pragma once
 
 #include "inference/truth_inference.h"
 
@@ -47,4 +46,3 @@ class ZenCrowd : public TruthInference {
 
 }  // namespace lncl::inference
 
-#endif  // LNCL_INFERENCE_ZENCROWD_H_

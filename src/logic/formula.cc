@@ -1,14 +1,14 @@
 #include "logic/formula.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "logic/soft_logic.h"
+#include "util/check.h"
 
 namespace lncl::logic {
 
 Formula::Ptr Formula::Atom(int index, std::string name) {
-  assert(index >= 0);
+  LNCL_DCHECK(index >= 0);
   if (name.empty()) name = "a" + std::to_string(index);
   return Ptr(new Formula(Kind::kAtom, index, 0.0, std::move(name), nullptr,
                          nullptr));
@@ -40,7 +40,7 @@ Formula::Ptr Formula::Implies(Ptr a, Ptr b) {
 double Formula::Eval(const std::vector<double>& atom_values) const {
   switch (kind_) {
     case Kind::kAtom:
-      assert(atom_index_ < static_cast<int>(atom_values.size()));
+      LNCL_DCHECK(atom_index_ < static_cast<int>(atom_values.size()));
       return ClampTruth(atom_values[atom_index_]);
     case Kind::kConstant:
       return constant_;

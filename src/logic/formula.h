@@ -1,5 +1,4 @@
-#ifndef LNCL_LOGIC_FORMULA_H_
-#define LNCL_LOGIC_FORMULA_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -65,4 +64,3 @@ class Formula {
 
 }  // namespace lncl::logic
 
-#endif  // LNCL_LOGIC_FORMULA_H_

@@ -1,14 +1,15 @@
 #include "logic/posterior_reg.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace lncl::logic {
 
 void RuleProjector::ProjectBatch(const std::vector<const data::Instance*>& xs,
                                  std::vector<util::Matrix>* qs,
                                  double C) const {
-  assert(qs->size() == xs.size());
+  LNCL_DCHECK(qs->size() == xs.size());
   for (size_t i = 0; i < xs.size(); ++i) {
     (*qs)[i] = Project(*xs[i], (*qs)[i], C);
   }
@@ -16,7 +17,9 @@ void RuleProjector::ProjectBatch(const std::vector<const data::Instance*>& xs,
 
 util::Matrix ProjectIndependent(const util::Matrix& q,
                                 const util::Matrix& penalties, double C) {
-  assert(q.rows() == penalties.rows() && q.cols() == penalties.cols());
+  LNCL_AUDIT_SHAPE(penalties, q.rows(), q.cols());
+  LNCL_AUDIT_SIMPLEX(q);
+  LNCL_AUDIT_FINITE(penalties);
   util::Matrix out(q.rows(), q.cols());
   for (int r = 0; r < q.rows(); ++r) {
     const float* qr = q.Row(r);
@@ -35,6 +38,8 @@ util::Matrix ProjectIndependent(const util::Matrix& q,
       for (int k = 0; k < q.cols(); ++k) o[k] *= inv;
     }
   }
+  // The Eq. 15 projection is itself a distribution per item.
+  LNCL_AUDIT_SIMPLEX(out);
   return out;
 }
 

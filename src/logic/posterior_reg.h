@@ -1,5 +1,4 @@
-#ifndef LNCL_LOGIC_POSTERIOR_REG_H_
-#define LNCL_LOGIC_POSTERIOR_REG_H_
+#pragma once
 
 #include <vector>
 
@@ -57,4 +56,3 @@ util::Vector ProjectCategorical(const util::Vector& q,
 
 }  // namespace lncl::logic
 
-#endif  // LNCL_LOGIC_POSTERIOR_REG_H_

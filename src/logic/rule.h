@@ -1,5 +1,4 @@
-#ifndef LNCL_LOGIC_RULE_H_
-#define LNCL_LOGIC_RULE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -46,4 +45,3 @@ class RuleSet {
 
 }  // namespace lncl::logic
 
-#endif  // LNCL_LOGIC_RULE_H_

@@ -1,14 +1,15 @@
 #include "logic/sequence_rules.h"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "util/check.h"
 
 namespace lncl::logic {
 
 SequenceRuleProjector::SequenceRuleProjector(util::Matrix pair_penalty)
     : pair_penalty_(std::move(pair_penalty)) {
-  assert(pair_penalty_.rows() == pair_penalty_.cols());
+  LNCL_CHECK(pair_penalty_.rows() == pair_penalty_.cols());
 }
 
 util::Matrix SequenceRuleProjector::Project(const data::Instance&,
@@ -16,7 +17,11 @@ util::Matrix SequenceRuleProjector::Project(const data::Instance&,
                                             double C) const {
   const int t_len = q.rows();
   const int k = q.cols();
-  assert(k == pair_penalty_.rows());
+  LNCL_DCHECK(k == pair_penalty_.rows());
+  // Input rows are unary potentials, not necessarily normalized (the DP
+  // renormalizes at every step) — so only finiteness is contracted here;
+  // the output marginals below must be exact simplexes.
+  LNCL_AUDIT_FINITE(q);
   util::Matrix out(t_len, k);
   if (t_len == 0) return out;
 
@@ -27,6 +32,7 @@ util::Matrix SequenceRuleProjector::Project(const data::Instance&,
       psi(a, b) = static_cast<float>(std::exp(-C * pair_penalty_(a, b)));
     }
   }
+  LNCL_AUDIT_FINITE(psi);
 
   auto normalize = [](std::vector<double>* v) {
     double sum = 0.0;
@@ -72,6 +78,9 @@ util::Matrix SequenceRuleProjector::Project(const data::Instance&,
     normalize(&marg);
     for (int c = 0; c < k; ++c) out(t, c) = static_cast<float>(marg[c]);
   }
+  // Eqs. 18-19: the forward-backward marginals must come out normalized
+  // (each token's row a simplex) and finite.
+  LNCL_AUDIT_SIMPLEX(out);
   return out;
 }
 

@@ -1,5 +1,4 @@
-#ifndef LNCL_LOGIC_SEQUENCE_RULES_H_
-#define LNCL_LOGIC_SEQUENCE_RULES_H_
+#pragma once
 
 #include "logic/posterior_reg.h"
 #include "util/matrix.h"
@@ -39,4 +38,3 @@ class SequenceRuleProjector : public RuleProjector {
 
 }  // namespace lncl::logic
 
-#endif  // LNCL_LOGIC_SEQUENCE_RULES_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_LOGIC_SOFT_LOGIC_H_
-#define LNCL_LOGIC_SOFT_LOGIC_H_
+#pragma once
 
 namespace lncl::logic {
 
@@ -24,4 +23,3 @@ double ClampTruth(double v);
 
 }  // namespace lncl::logic
 
-#endif  // LNCL_LOGIC_SOFT_LOGIC_H_

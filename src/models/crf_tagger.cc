@@ -1,12 +1,12 @@
 #include "models/crf_tagger.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "nn/activations.h"
 #include "nn/dropout.h"
 #include "util/chain.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace lncl::models {
@@ -156,7 +156,8 @@ void CrfTagger::BackwardFromUnary(const util::Matrix& grad_unary) {
 double CrfTagger::BackwardSoftTarget(const util::Matrix& q, float w) {
   const int t_len = cache_.unary.rows();
   const int k = config_.num_classes;
-  assert(q.rows() == t_len && q.cols() == k);
+  LNCL_DCHECK(q.rows() == t_len && q.cols() == k);
+  LNCL_AUDIT_SIMPLEX(q);
 
   // Harden the target rows into the supervision sequence.
   std::vector<int> y(t_len);

@@ -1,5 +1,4 @@
-#ifndef LNCL_MODELS_CRF_TAGGER_H_
-#define LNCL_MODELS_CRF_TAGGER_H_
+#pragma once
 
 #include <memory>
 
@@ -101,4 +100,3 @@ class CrfTagger : public Model {
 
 }  // namespace lncl::models
 
-#endif  // LNCL_MODELS_CRF_TAGGER_H_

@@ -1,9 +1,9 @@
 #include "models/logreg.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "nn/softmax.h"
+#include "util/check.h"
 #include "util/workspace.h"
 
 namespace lncl::models {
@@ -86,8 +86,10 @@ const util::Matrix& LogisticRegression::ForwardTrain(const data::Instance& x,
   return probs_;
 }
 
-double LogisticRegression::BackwardSoftTarget(const util::Matrix& q, float w) {
-  assert(q.rows() == 1 && q.cols() == num_classes());
+double LogisticRegression::BackwardSoftTarget(const util::Matrix& q,
+                                               float w) {
+  LNCL_DCHECK(q.rows() == 1 && q.cols() == num_classes());
+  LNCL_AUDIT_SIMPLEX(q);
   const util::Vector p(probs_.Row(0), probs_.Row(0) + num_classes());
   const util::Vector qv(q.Row(0), q.Row(0) + num_classes());
   util::Vector grad_logits;
@@ -98,7 +100,7 @@ double LogisticRegression::BackwardSoftTarget(const util::Matrix& q, float w) {
 
 void LogisticRegression::BackwardProbGrad(const util::Matrix& grad_probs,
                                           float w) {
-  assert(grad_probs.rows() == 1);
+  LNCL_DCHECK(grad_probs.rows() == 1);
   const util::Vector p(probs_.Row(0), probs_.Row(0) + num_classes());
   const util::Vector gp(grad_probs.Row(0), grad_probs.Row(0) + num_classes());
   util::Vector grad_logits;

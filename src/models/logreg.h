@@ -1,5 +1,4 @@
-#ifndef LNCL_MODELS_LOGREG_H_
-#define LNCL_MODELS_LOGREG_H_
+#pragma once
 
 #include "data/embedding.h"
 #include "models/model.h"
@@ -46,4 +45,3 @@ class LogisticRegression : public Model {
 
 }  // namespace lncl::models
 
-#endif  // LNCL_MODELS_LOGREG_H_

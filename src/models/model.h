@@ -1,5 +1,4 @@
-#ifndef LNCL_MODELS_MODEL_H_
-#define LNCL_MODELS_MODEL_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -100,4 +99,3 @@ std::vector<LengthBucket> BucketByLength(
 
 }  // namespace lncl::models
 
-#endif  // LNCL_MODELS_MODEL_H_

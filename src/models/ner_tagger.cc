@@ -1,10 +1,10 @@
 #include "models/ner_tagger.h"
 
-#include <cassert>
 
 #include "nn/activations.h"
 #include "nn/dropout.h"
 #include "nn/softmax.h"
+#include "util/check.h"
 #include "util/workspace.h"
 
 namespace lncl::models {
@@ -125,7 +125,9 @@ void NerTagger::BackwardFromLogits(const util::Matrix& grad_logits) {
 }
 
 double NerTagger::BackwardSoftTarget(const util::Matrix& q, float w) {
-  assert(q.rows() == cache_.probs.rows() && q.cols() == cache_.probs.cols());
+  LNCL_DCHECK(q.rows() == cache_.probs.rows() &&
+              q.cols() == cache_.probs.cols());
+  LNCL_AUDIT_SIMPLEX(q);
   util::Matrix grad_logits;
   nn::SoftmaxCrossEntropyGradRows(q, cache_.probs, w, &grad_logits);
   BackwardFromLogits(grad_logits);
@@ -133,7 +135,7 @@ double NerTagger::BackwardSoftTarget(const util::Matrix& q, float w) {
 }
 
 void NerTagger::BackwardProbGrad(const util::Matrix& grad_probs, float w) {
-  assert(grad_probs.rows() == cache_.probs.rows());
+  LNCL_DCHECK(grad_probs.rows() == cache_.probs.rows());
   util::Matrix grad_logits;
   nn::SoftmaxJacobianVecProductRows(cache_.probs, grad_probs, w, &grad_logits);
   BackwardFromLogits(grad_logits);

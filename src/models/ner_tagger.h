@@ -1,5 +1,4 @@
-#ifndef LNCL_MODELS_NER_TAGGER_H_
-#define LNCL_MODELS_NER_TAGGER_H_
+#pragma once
 
 #include <memory>
 
@@ -85,4 +84,3 @@ class NerTagger : public Model {
 
 }  // namespace lncl::models
 
-#endif  // LNCL_MODELS_NER_TAGGER_H_

@@ -1,12 +1,12 @@
 #include "models/text_cnn.h"
 
-#include <cassert>
 #include <string>
 
 #include "nn/activations.h"
 #include "nn/dropout.h"
 #include "nn/maxpool.h"
 #include "nn/softmax.h"
+#include "util/check.h"
 #include "util/workspace.h"
 
 namespace lncl::models {
@@ -171,7 +171,8 @@ void TextCnn::BackwardFromLogits(const util::Vector& grad_logits) {
 }
 
 double TextCnn::BackwardSoftTarget(const util::Matrix& q, float w) {
-  assert(q.rows() == 1 && q.cols() == config_.num_classes);
+  LNCL_DCHECK(q.rows() == 1 && q.cols() == config_.num_classes);
+  LNCL_AUDIT_SIMPLEX(q);
   const util::Vector p(cache_.probs.Row(0),
                        cache_.probs.Row(0) + config_.num_classes);
   const util::Vector qv(q.Row(0), q.Row(0) + config_.num_classes);
@@ -182,7 +183,7 @@ double TextCnn::BackwardSoftTarget(const util::Matrix& q, float w) {
 }
 
 void TextCnn::BackwardProbGrad(const util::Matrix& grad_probs, float w) {
-  assert(grad_probs.rows() == 1 && grad_probs.cols() == config_.num_classes);
+  LNCL_DCHECK(grad_probs.rows() == 1 && grad_probs.cols() == config_.num_classes);
   const util::Vector p(cache_.probs.Row(0),
                        cache_.probs.Row(0) + config_.num_classes);
   const util::Vector gp(grad_probs.Row(0),

@@ -1,5 +1,4 @@
-#ifndef LNCL_MODELS_TEXT_CNN_H_
-#define LNCL_MODELS_TEXT_CNN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -86,4 +85,3 @@ class TextCnn : public Model {
 
 }  // namespace lncl::models
 
-#endif  // LNCL_MODELS_TEXT_CNN_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_ACTIVATIONS_H_
-#define LNCL_NN_ACTIVATIONS_H_
+#pragma once
 
 #include <cmath>
 
@@ -26,4 +25,3 @@ void SigmoidForward(util::Vector* x);
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_ACTIVATIONS_H_

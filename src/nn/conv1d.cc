@@ -1,8 +1,8 @@
 #include "nn/conv1d.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "util/check.h"
 #include "util/workspace.h"
 
 namespace lncl::nn {
@@ -53,7 +53,7 @@ void Conv1d::TransposeFilters(util::Matrix* wt) const {
 }
 
 void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
-  assert(x.cols() == in_dim_);
+  LNCL_DCHECK(x.cols() == in_dim_);
   const int t = x.rows();
   const int out_rows = OutRows(t);
   const int f = filters();
@@ -106,8 +106,8 @@ void Conv1d::AccumulateBoundaryRow(const util::Matrix& wt, const float* x_base,
 
 void Conv1d::ForwardPacked(const util::Matrix& x_packed, int batch, int t,
                            util::Matrix* y_packed) const {
-  assert(x_packed.rows() == batch * t);
-  assert(t == 0 || x_packed.cols() == in_dim_);
+  LNCL_DCHECK(x_packed.rows() == batch * t);
+  LNCL_DCHECK(t == 0 || x_packed.cols() == in_dim_);
   const int out_rows = OutRows(t);
   const int f = filters();
   const int k_dim = window_ * in_dim_;
@@ -159,8 +159,8 @@ void Conv1d::Backward(const util::Matrix& x, const util::Matrix& grad_y,
   const int out_rows = grad_y.rows();
   const int f = filters();
   const int k_dim = window_ * in_dim_;
-  assert(out_rows == OutRows(t));
-  assert(grad_y.cols() == f);
+  LNCL_DCHECK(out_rows == OutRows(t));
+  LNCL_DCHECK(grad_y.cols() == f);
 
   // db += column sums of grad_y; count nonzeros on the same pass.
   float* gbias = b_.grad.Row(0);

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_CONV1D_H_
-#define LNCL_NN_CONV1D_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -97,4 +96,3 @@ class Conv1d {
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_CONV1D_H_

@@ -1,6 +1,6 @@
 #include "nn/dropout.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace lncl::nn {
 
@@ -23,7 +23,7 @@ void ApplyForward(double rate, util::Rng* rng, float* data, size_t n,
 
 void ApplyBackward(double rate, const std::vector<uint8_t>& mask, float* grad,
                    size_t n) {
-  assert(mask.size() == n);
+  LNCL_DCHECK(mask.size() == n);
   if (rate <= 0.0) return;
   const float scale = static_cast<float>(1.0 / (1.0 - rate));
   for (size_t i = 0; i < n; ++i) {

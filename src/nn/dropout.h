@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_DROPOUT_H_
-#define LNCL_NN_DROPOUT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -25,4 +24,3 @@ void DropoutBackward(double rate, const std::vector<uint8_t>& mask,
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_DROPOUT_H_

@@ -1,7 +1,7 @@
 #include "nn/embedding.h"
+#include "util/check.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace lncl::nn {
 
@@ -23,8 +23,8 @@ void Embedding::Forward(const std::vector<int>& tokens,
 
 void Embedding::Backward(const std::vector<int>& tokens,
                          const util::Matrix& grad_out) {
-  assert(grad_out.rows() == static_cast<int>(tokens.size()));
-  assert(grad_out.cols() == dim());
+  LNCL_DCHECK(grad_out.rows() == static_cast<int>(tokens.size()));
+  LNCL_DCHECK(grad_out.cols() == dim());
   for (size_t t = 0; t < tokens.size(); ++t) {
     const int id = tokens[t];
     if (id <= 0 || id >= vocab_size()) continue;

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_EMBEDDING_H_
-#define LNCL_NN_EMBEDDING_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -39,4 +38,3 @@ class Embedding {
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_EMBEDDING_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_GRADCHECK_H_
-#define LNCL_NN_GRADCHECK_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -32,4 +31,3 @@ GradCheckResult CheckGradients(const std::function<double()>& loss_fn,
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_GRADCHECK_H_

@@ -1,9 +1,9 @@
 #include "nn/gru.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "nn/activations.h"
+#include "util/check.h"
 #include "util/workspace.h"
 
 namespace lncl::nn {
@@ -48,7 +48,7 @@ thread_local util::Matrix tls_dz, tls_dr, tls_dc, tls_hprev, tls_rh;
 
 void Gru::Forward(const util::Matrix& x, Cache* cache,
                   util::Matrix* h_out) const {
-  assert(x.cols() == in_dim());
+  LNCL_DCHECK(x.cols() == in_dim());
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
   cache->h.ResizeNoZero(t_len, h_dim);
@@ -126,8 +126,8 @@ void Gru::Forward(const util::Matrix& x, Cache* cache,
 
 void Gru::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
                         util::Matrix* h_packed) const {
-  assert(x_packed.rows() == batch * t_len);
-  assert(t_len == 0 || x_packed.cols() == in_dim());
+  LNCL_DCHECK(x_packed.rows() == batch * t_len);
+  LNCL_DCHECK(t_len == 0 || x_packed.cols() == in_dim());
   const int h_dim = hidden_dim();
   h_packed->ResizeNoZero(batch * t_len, h_dim);
   if (batch == 0 || t_len == 0) return;
@@ -226,7 +226,7 @@ void Gru::Backward(const util::Matrix& x, const Cache& cache,
                    const util::Matrix& grad_h, util::Matrix* grad_x) {
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
-  assert(grad_h.rows() == t_len && grad_h.cols() == h_dim);
+  LNCL_DCHECK(grad_h.rows() == t_len && grad_h.cols() == h_dim);
 
   // The sequential sweep only resolves the recurrent coupling; the
   // pre-activation gradients are staged per timestep and the parameter /

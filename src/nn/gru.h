@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_GRU_H_
-#define LNCL_NN_GRU_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -68,4 +67,3 @@ class Gru {
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_GRU_H_

@@ -1,6 +1,6 @@
 #include "nn/linear.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace lncl::nn {
 
@@ -17,7 +17,7 @@ void Linear::Forward(const util::Vector& x, util::Vector* y) const {
 }
 
 void Linear::ForwardRows(const util::Matrix& x, util::Matrix* y) const {
-  assert(x.cols() == in_dim());
+  LNCL_DCHECK(x.cols() == in_dim());
   util::MatMulTransB(x, w_.value, y);
   const float* b = b_.value.Row(0);
   for (int r = 0; r < y->rows(); ++r) {
@@ -28,7 +28,7 @@ void Linear::ForwardRows(const util::Matrix& x, util::Matrix* y) const {
 
 void Linear::Backward(const util::Vector& x, const util::Vector& grad_y,
                       util::Vector* grad_x) {
-  assert(static_cast<int>(grad_y.size()) == out_dim());
+  LNCL_DCHECK(static_cast<int>(grad_y.size()) == out_dim());
   util::OuterAdd(grad_y, x, 1.0f, &w_.grad);
   float* gb = b_.grad.Row(0);
   for (int i = 0; i < out_dim(); ++i) gb[i] += grad_y[i];
@@ -39,7 +39,7 @@ void Linear::Backward(const util::Vector& x, const util::Vector& grad_y,
 
 void Linear::BackwardRows(const util::Matrix& x, const util::Matrix& grad_y,
                           util::Matrix* grad_x) {
-  assert(x.rows() == grad_y.rows());
+  LNCL_DCHECK(x.rows() == grad_y.rows());
   // dW += grad_y^T * x, accumulated in place by the beta=1 GEMM (no temp).
   util::Gemm(1.0f, grad_y, util::Trans::kYes, x, util::Trans::kNo, 1.0f,
              &w_.grad);

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_LINEAR_H_
-#define LNCL_NN_LINEAR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,4 +53,3 @@ class Linear {
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_LINEAR_H_

@@ -1,9 +1,9 @@
 #include "nn/lstm.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "nn/activations.h"
+#include "util/check.h"
 #include "util/workspace.h"
 
 namespace lncl::nn {
@@ -44,7 +44,7 @@ thread_local util::Matrix tls_di, tls_df, tls_do, tls_dg, tls_hprev;
 
 void Lstm::Forward(const util::Matrix& x, Cache* cache,
                    util::Matrix* h_out) const {
-  assert(x.cols() == in_dim());
+  LNCL_DCHECK(x.cols() == in_dim());
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
   cache->h.ResizeNoZero(t_len, h_dim);
@@ -120,8 +120,8 @@ void Lstm::Forward(const util::Matrix& x, Cache* cache,
 
 void Lstm::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
                          util::Matrix* h_packed) const {
-  assert(x_packed.rows() == batch * t_len);
-  assert(t_len == 0 || x_packed.cols() == in_dim());
+  LNCL_DCHECK(x_packed.rows() == batch * t_len);
+  LNCL_DCHECK(t_len == 0 || x_packed.cols() == in_dim());
   const int h_dim = hidden_dim();
   h_packed->ResizeNoZero(batch * t_len, h_dim);
   if (batch == 0 || t_len == 0) return;
@@ -211,7 +211,7 @@ void Lstm::Backward(const util::Matrix& x, const Cache& cache,
                     const util::Matrix& grad_h, util::Matrix* grad_x) {
   const int t_len = x.rows();
   const int h_dim = hidden_dim();
-  assert(grad_h.rows() == t_len && grad_h.cols() == h_dim);
+  LNCL_DCHECK(grad_h.rows() == t_len && grad_h.cols() == h_dim);
 
   tls_di.ResizeNoZero(t_len, h_dim);
   tls_df.ResizeNoZero(t_len, h_dim);

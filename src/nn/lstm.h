@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_LSTM_H_
-#define LNCL_NN_LSTM_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -70,4 +69,3 @@ class Lstm {
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_LSTM_H_

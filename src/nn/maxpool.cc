@@ -1,6 +1,6 @@
 #include "nn/maxpool.h"
+#include "util/check.h"
 
-#include <cassert>
 
 namespace lncl::nn {
 
@@ -8,7 +8,7 @@ void MaxOverTimeForward(const util::Matrix& x, util::Vector* out,
                         std::vector<int>* argmax) {
   const int t = x.rows();
   const int f = x.cols();
-  assert(t > 0);
+  LNCL_DCHECK(t > 0);
   out->assign(f, 0.0f);
   argmax->assign(f, 0);
   for (int c = 0; c < f; ++c) {
@@ -28,7 +28,7 @@ void MaxOverTimeForward(const util::Matrix& x, util::Vector* out,
 void MaxOverTimeRange(const util::Matrix& x, int row_begin, int row_end,
                       float* out) {
   const int f = x.cols();
-  assert(row_end > row_begin);
+  LNCL_DCHECK(row_end > row_begin);
   for (int c = 0; c < f; ++c) {
     float best = x(row_begin, c);
     for (int r = row_begin + 1; r < row_end; ++r) {
@@ -41,7 +41,7 @@ void MaxOverTimeRange(const util::Matrix& x, int row_begin, int row_end,
 void MaxOverTimeBackward(const std::vector<int>& argmax,
                          const util::Vector& grad_out, int rows,
                          util::Matrix* grad_x) {
-  assert(argmax.size() == grad_out.size());
+  LNCL_DCHECK(argmax.size() == grad_out.size());
   grad_x->Resize(rows, static_cast<int>(grad_out.size()));
   for (size_t c = 0; c < grad_out.size(); ++c) {
     (*grad_x)(argmax[c], static_cast<int>(c)) = grad_out[c];

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_MAXPOOL_H_
-#define LNCL_NN_MAXPOOL_H_
+#pragma once
 
 #include <vector>
 
@@ -29,4 +28,3 @@ void MaxOverTimeBackward(const std::vector<int>& argmax,
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_MAXPOOL_H_

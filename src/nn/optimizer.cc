@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace lncl::nn {
@@ -9,6 +10,7 @@ namespace lncl::nn {
 void Sgd::Step(const std::vector<Parameter*>& params) {
   MaybeClip(params);
   for (Parameter* p : params) {
+    LNCL_AUDIT_FINITE(p->grad);
     ApplyL2(p);
     if (momentum_ > 0.0) {
       util::Matrix& v = velocity_[p];
@@ -21,6 +23,7 @@ void Sgd::Step(const std::vector<Parameter*>& params) {
     } else {
       p->value.AddScaled(p->grad, static_cast<float>(-lr_));
     }
+    LNCL_AUDIT_FINITE(p->value);
     p->ZeroGrad();
   }
 }
@@ -31,6 +34,7 @@ void Adam::Step(const std::vector<Parameter*>& params) {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
   for (Parameter* p : params) {
+    LNCL_AUDIT_FINITE(p->grad);
     ApplyL2(p);
     State& s = state_[p];
     if (s.m.rows() != p->value.rows() || s.m.cols() != p->value.cols()) {
@@ -50,6 +54,7 @@ void Adam::Step(const std::vector<Parameter*>& params) {
       const double vhat = v[i] / bc2;
       val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
     }
+    LNCL_AUDIT_FINITE(p->value);
     p->ZeroGrad();
   }
 }
@@ -57,6 +62,7 @@ void Adam::Step(const std::vector<Parameter*>& params) {
 void Adadelta::Step(const std::vector<Parameter*>& params) {
   MaybeClip(params);
   for (Parameter* p : params) {
+    LNCL_AUDIT_FINITE(p->grad);
     ApplyL2(p);
     State& s = state_[p];
     if (s.avg_sq_grad.rows() != p->value.rows() ||
@@ -77,6 +83,7 @@ void Adadelta::Step(const std::vector<Parameter*>& params) {
       eu[i] = rho * eu[i] + (1.0f - rho) * update * update;
       val[i] -= static_cast<float>(lr_) * update;
     }
+    LNCL_AUDIT_FINITE(p->value);
     p->ZeroGrad();
   }
 }

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_OPTIMIZER_H_
-#define LNCL_NN_OPTIMIZER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -128,4 +127,3 @@ void ApplyLrSchedule(const OptimizerConfig& config, int epoch, Optimizer* opt);
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_OPTIMIZER_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_PARAMETER_H_
-#define LNCL_NN_PARAMETER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -16,8 +15,8 @@ namespace lncl::nn {
 // Parameter must live at a stable address for the lifetime of training
 // (layers therefore store Parameters by value and are not copyable).
 struct Parameter {
-  Parameter(std::string name, int rows, int cols)
-      : name(std::move(name)), value(rows, cols), grad(rows, cols) {}
+  Parameter(std::string param_name, int rows, int cols)
+      : name(std::move(param_name)), value(rows, cols), grad(rows, cols) {}
 
   Parameter(const Parameter&) = delete;
   Parameter& operator=(const Parameter&) = delete;
@@ -53,4 +52,3 @@ size_t CountWeights(const std::vector<Parameter*>& params);
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_PARAMETER_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_SERIALIZE_H_
-#define LNCL_NN_SERIALIZE_H_
+#pragma once
 
 #include <istream>
 #include <ostream>
@@ -26,4 +25,3 @@ void RestoreValues(const std::vector<util::Matrix>& snapshot,
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_SERIALIZE_H_

@@ -1,8 +1,9 @@
 #include "nn/softmax.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace lncl::nn {
 
@@ -25,6 +26,7 @@ void SoftmaxInPlace(const float* z, float* p, int n) {
 void Softmax(const util::Vector& logits, util::Vector* probs) {
   probs->resize(logits.size());
   SoftmaxInPlace(logits.data(), probs->data(), static_cast<int>(logits.size()));
+  LNCL_AUDIT_SIMPLEX(*probs);
 }
 
 void SoftmaxRows(const util::Matrix& logits, util::Matrix* probs) {
@@ -32,10 +34,11 @@ void SoftmaxRows(const util::Matrix& logits, util::Matrix* probs) {
   for (int r = 0; r < logits.rows(); ++r) {
     SoftmaxInPlace(logits.Row(r), probs->Row(r), logits.cols());
   }
+  LNCL_AUDIT_SIMPLEX(*probs);
 }
 
 double CrossEntropy(const util::Vector& q, const util::Vector& p) {
-  assert(q.size() == p.size());
+  LNCL_DCHECK(q.size() == p.size());
   double loss = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     if (q[i] > 0.0f) {
@@ -46,7 +49,7 @@ double CrossEntropy(const util::Vector& q, const util::Vector& p) {
 }
 
 double CrossEntropyRows(const util::Matrix& q, const util::Matrix& p) {
-  assert(q.rows() == p.rows() && q.cols() == p.cols());
+  LNCL_DCHECK(q.rows() == p.rows() && q.cols() == p.cols());
   double loss = 0.0;
   for (int r = 0; r < q.rows(); ++r) {
     const float* qr = q.Row(r);
@@ -63,14 +66,15 @@ double CrossEntropyRows(const util::Matrix& q, const util::Matrix& p) {
 
 void SoftmaxCrossEntropyGrad(const util::Vector& q, const util::Vector& p,
                              float w, util::Vector* grad) {
-  assert(q.size() == p.size());
+  LNCL_DCHECK(q.size() == p.size());
   grad->resize(p.size());
   for (size_t i = 0; i < p.size(); ++i) (*grad)[i] = w * (p[i] - q[i]);
+  LNCL_AUDIT_FINITE(*grad);
 }
 
 void SoftmaxCrossEntropyGradRows(const util::Matrix& q, const util::Matrix& p,
                                  float w, util::Matrix* grad) {
-  assert(q.rows() == p.rows() && q.cols() == p.cols());
+  LNCL_DCHECK(q.rows() == p.rows() && q.cols() == p.cols());
   grad->Resize(p.rows(), p.cols());
   for (int r = 0; r < p.rows(); ++r) {
     const float* qr = q.Row(r);
@@ -78,24 +82,26 @@ void SoftmaxCrossEntropyGradRows(const util::Matrix& q, const util::Matrix& p,
     float* gr = grad->Row(r);
     for (int c = 0; c < p.cols(); ++c) gr[c] = w * (pr[c] - qr[c]);
   }
+  LNCL_AUDIT_FINITE(*grad);
 }
 
 void SoftmaxJacobianVecProduct(const util::Vector& p,
                                const util::Vector& grad_p, float w,
                                util::Vector* grad_z) {
-  assert(p.size() == grad_p.size());
+  LNCL_DCHECK(p.size() == grad_p.size());
   grad_z->resize(p.size());
   float dot = 0.0f;
   for (size_t i = 0; i < p.size(); ++i) dot += p[i] * grad_p[i];
   for (size_t i = 0; i < p.size(); ++i) {
     (*grad_z)[i] = w * p[i] * (grad_p[i] - dot);
   }
+  LNCL_AUDIT_FINITE(*grad_z);
 }
 
 void SoftmaxJacobianVecProductRows(const util::Matrix& p,
                                    const util::Matrix& grad_p, float w,
                                    util::Matrix* grad_z) {
-  assert(p.rows() == grad_p.rows() && p.cols() == grad_p.cols());
+  LNCL_DCHECK(p.rows() == grad_p.rows() && p.cols() == grad_p.cols());
   grad_z->Resize(p.rows(), p.cols());
   for (int r = 0; r < p.rows(); ++r) {
     const float* pr = p.Row(r);
@@ -105,6 +111,7 @@ void SoftmaxJacobianVecProductRows(const util::Matrix& p,
     for (int c = 0; c < p.cols(); ++c) dot += pr[c] * gr[c];
     for (int c = 0; c < p.cols(); ++c) oz[c] = w * pr[c] * (gr[c] - dot);
   }
+  LNCL_AUDIT_FINITE(*grad_z);
 }
 
 }  // namespace lncl::nn

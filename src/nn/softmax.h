@@ -1,5 +1,4 @@
-#ifndef LNCL_NN_SOFTMAX_H_
-#define LNCL_NN_SOFTMAX_H_
+#pragma once
 
 #include "util/matrix.h"
 
@@ -35,4 +34,3 @@ void SoftmaxJacobianVecProductRows(const util::Matrix& p,
 
 }  // namespace lncl::nn
 
-#endif  // LNCL_NN_SOFTMAX_H_

@@ -1,6 +1,6 @@
 #include "util/chain.h"
+#include "util/check.h"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
 
@@ -13,8 +13,8 @@ void ChainForwardBackward(const Vector& prior,
                           Matrix* xi_sum) {
   const int t_len = emission.rows();
   const int k = emission.cols();
-  assert(static_cast<int>(prior.size()) == k);
-  assert(transition.rows() == k && transition.cols() == k);
+  LNCL_DCHECK(static_cast<int>(prior.size()) == k);
+  LNCL_DCHECK(transition.rows() == k && transition.cols() == k);
   gamma->Resize(t_len, k);
   if (t_len == 0) return;
 
@@ -61,7 +61,7 @@ void ChainForwardBackward(const Vector& prior,
   }
 
   if (xi_sum != nullptr) {
-    assert(xi_sum->rows() == k && xi_sum->cols() == k);
+    LNCL_DCHECK(xi_sum->rows() == k && xi_sum->cols() == k);
     for (int t = 0; t + 1 < t_len; ++t) {
       double total = 0.0;
       std::vector<double> xi(static_cast<size_t>(k) * k);

@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_CHAIN_H_
-#define LNCL_UTIL_CHAIN_H_
+#pragma once
 
 #include "util/matrix.h"
 
@@ -29,4 +28,3 @@ void ChainViterbi(const Vector& prior, const Matrix& transition,
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_CHAIN_H_

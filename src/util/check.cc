@@ -1,0 +1,141 @@
+#include "util/check.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/matrix.h"
+
+namespace lncl::util {
+
+namespace {
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+// Row sums after an explicit normalization are a few float ulps per class
+// off 1.0; anything past this tolerance is a real denormalization, not
+// rounding.
+constexpr double kSumTol = 1e-4;
+
+// A probability mildly below 0 or above 1 from rounding is impossible after
+// normalization with non-negative inputs, so entries are checked strictly.
+bool IsProbability(float x) {
+  return std::isfinite(x) && x >= 0.0f && x <= 1.0f + 1e-6f;
+}
+
+void CheckDistributionRow(const float* row, int n, int r, const char* what,
+                          const char* expr, const char* file, int line) {
+  double sum = 0.0;
+  for (int c = 0; c < n; ++c) {
+    if (!IsProbability(row[c])) {
+      CheckFailure(file, line, expr,
+                   Format("%s: entry (%d,%d) = %g is not a probability", what,
+                          r, c, static_cast<double>(row[c])));
+    }
+    sum += row[c];
+  }
+  if (!(std::fabs(sum - 1.0) <= kSumTol)) {
+    CheckFailure(
+        file, line, expr,
+        Format("%s: row %d sums to %.9g, not 1", what, r, sum));
+  }
+}
+
+}  // namespace
+
+void CheckFailure(const char* file, int line, const char* expr,
+                  const std::string& detail) {
+  std::fprintf(stderr, "[CHECK %s:%d] CHECK failed: %s%s%s%s\n",
+               Basename(file), line, expr, detail.empty() ? "" : " (",
+               detail.c_str(), detail.empty() ? "" : ")");
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace audit {
+
+void CheckFinite(float x, const char* expr, const char* file, int line) {
+  if (!std::isfinite(x)) {
+    CheckFailure(file, line, expr,
+                 Format("value %g is not finite", static_cast<double>(x)));
+  }
+}
+
+void CheckFinite(double x, const char* expr, const char* file, int line) {
+  if (!std::isfinite(x)) {
+    CheckFailure(file, line, expr, Format("value %g is not finite", x));
+  }
+}
+
+void CheckFinite(const std::vector<float>& v, const char* expr,
+                 const char* file, int line) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      CheckFailure(file, line, expr,
+                   Format("entry %zu = %g is not finite", i,
+                          static_cast<double>(v[i])));
+    }
+  }
+}
+
+void CheckFinite(const Matrix& m, const char* expr, const char* file,
+                 int line) {
+  const float* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(data[i])) {
+      CheckFailure(file, line, expr,
+                   Format("entry (%d,%d) = %g is not finite",
+                          static_cast<int>(i) / m.cols(),
+                          static_cast<int>(i) % m.cols(),
+                          static_cast<double>(data[i])));
+    }
+  }
+}
+
+void CheckSimplex(const std::vector<float>& v, const char* expr,
+                  const char* file, int line) {
+  if (v.empty()) return;
+  CheckDistributionRow(v.data(), static_cast<int>(v.size()), 0, "simplex",
+                       expr, file, line);
+}
+
+void CheckSimplex(const Matrix& m, const char* expr, const char* file,
+                  int line) {
+  for (int r = 0; r < m.rows(); ++r) {
+    CheckDistributionRow(m.Row(r), m.cols(), r, "simplex", expr, file, line);
+  }
+}
+
+void CheckRowStochastic(const Matrix& m, const char* expr, const char* file,
+                        int line) {
+  for (int r = 0; r < m.rows(); ++r) {
+    CheckDistributionRow(m.Row(r), m.cols(), r, "row-stochastic", expr, file,
+                         line);
+  }
+}
+
+void CheckShape(const Matrix& m, int rows, int cols, const char* expr,
+                const char* file, int line) {
+  if (m.rows() != rows || m.cols() != cols) {
+    CheckFailure(file, line, expr,
+                 Format("shape %dx%d, expected %dx%d", m.rows(), m.cols(),
+                        rows, cols));
+  }
+}
+
+}  // namespace audit
+}  // namespace lncl::util

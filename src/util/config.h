@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_CONFIG_H_
-#define LNCL_UTIL_CONFIG_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -43,4 +42,3 @@ class Config {
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_CONFIG_H_

@@ -1,9 +1,12 @@
-#ifndef LNCL_UTIL_LOGGING_H_
-#define LNCL_UTIL_LOGGING_H_
+#pragma once
 
 #include <mutex>
 #include <sstream>
 #include <string>
+
+// LNCL_CHECK (and the audit-build LNCL_DCHECK / LNCL_AUDIT_* family) live in
+// check.h; logging.h re-exports them so existing call sites keep compiling.
+#include "util/check.h"
 
 namespace lncl::util {
 
@@ -14,6 +17,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 // Usage: LNCL_LOG(INFO) << "epoch " << e << " loss " << loss;
 // The global threshold defaults to kInfo and can be raised by benches to
 // silence per-epoch chatter (SetLogLevel(LogLevel::kWarning)).
+//
+// Invariant failures do NOT go through this class: LNCL_CHECK and the audit
+// macros report via util::CheckFailure, which writes to stderr regardless of
+// the threshold and aborts with file:line context.
 class Logger {
  public:
   Logger(LogLevel level, const char* file, int line);
@@ -42,15 +49,3 @@ void SetLogLevel(LogLevel level);
 #define LNCL_LOG(severity)                                           \
   ::lncl::util::Logger(::lncl::util::LogLevel::k##severity, __FILE__, \
                        __LINE__)
-
-// Always-on invariant check (also in release builds). Aborts with a message
-// identifying the failing expression and location.
-#define LNCL_CHECK(cond)                                                   \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      LNCL_LOG(Error) << "CHECK failed: " #cond;                           \
-      ::abort();                                                           \
-    }                                                                      \
-  } while (0)
-
-#endif  // LNCL_UTIL_LOGGING_H_

@@ -5,7 +5,7 @@
 namespace lncl::util {
 
 void Matrix::AddScaled(const Matrix& other, float alpha) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  LNCL_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
   const float* src = other.data_.data();
   float* dst = data_.data();
   for (size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
@@ -192,29 +192,29 @@ void Gemm(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
   const int ka = trans_a == Trans::kNo ? a.cols() : a.rows();
   const int kb = trans_b == Trans::kNo ? b.rows() : b.cols();
   const int n = trans_b == Trans::kNo ? b.cols() : b.rows();
-  assert(ka == kb);
+  LNCL_DCHECK(ka == kb);
   (void)kb;
   if (beta == 0.0f) {
     c->ResizeNoZero(m, n);
   } else {
-    assert(c->rows() == m && c->cols() == n);
+    LNCL_AUDIT_SHAPE(*c, m, n);
   }
   GemmRaw(m, n, ka, alpha, a.data(), a.cols(), trans_a, b.data(), b.cols(),
           trans_b, beta, c->data(), c->cols());
 }
 
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.rows());
+  LNCL_DCHECK(a.cols() == b.rows());
   Gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, out);
 }
 
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.rows() == b.rows());
+  LNCL_DCHECK(a.rows() == b.rows());
   Gemm(1.0f, a, Trans::kYes, b, Trans::kNo, 0.0f, out);
 }
 
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.cols());
+  LNCL_DCHECK(a.cols() == b.cols());
   Gemm(1.0f, a, Trans::kNo, b, Trans::kYes, 0.0f, out);
 }
 
@@ -229,7 +229,7 @@ void TransposeInto(const Matrix& src, Matrix* out) {
 }
 
 void MatVec(const Matrix& w, const Vector& x, Vector* y) {
-  assert(static_cast<int>(x.size()) == w.cols());
+  LNCL_DCHECK(static_cast<int>(x.size()) == w.cols());
   const int m = w.rows();
   const int n = w.cols();
   y->resize(m);
@@ -262,7 +262,7 @@ void MatVec(const Matrix& w, const Vector& x, Vector* y) {
 }
 
 void MatVecTrans(const Matrix& w, const Vector& x, Vector* y) {
-  assert(static_cast<int>(x.size()) == w.rows());
+  LNCL_DCHECK(static_cast<int>(x.size()) == w.rows());
   const int m = w.rows();
   const int n = w.cols();
   y->assign(n, 0.0f);
@@ -289,8 +289,8 @@ void MatVecTrans(const Matrix& w, const Vector& x, Vector* y) {
 }
 
 void OuterAdd(const Vector& x, const Vector& y, float alpha, Matrix* w) {
-  assert(w->rows() == static_cast<int>(x.size()));
-  assert(w->cols() == static_cast<int>(y.size()));
+  LNCL_DCHECK(w->rows() == static_cast<int>(x.size()));
+  LNCL_DCHECK(w->cols() == static_cast<int>(y.size()));
   const int m = w->rows();
   const int n = w->cols();
   const float* __restrict yv = y.data();
@@ -302,12 +302,12 @@ void OuterAdd(const Vector& x, const Vector& y, float alpha, Matrix* w) {
 }
 
 void AddScaled(const Vector& x, float alpha, Vector* y) {
-  assert(x.size() == y->size());
+  LNCL_DCHECK(x.size() == y->size());
   for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
 }
 
 float Dot(const Vector& a, const Vector& b) {
-  assert(a.size() == b.size());
+  LNCL_DCHECK(a.size() == b.size());
   float s = 0.0f;
   for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;

@@ -1,25 +1,25 @@
-#ifndef LNCL_UTIL_MATRIX_H_
-#define LNCL_UTIL_MATRIX_H_
+#pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "util/check.h"
 
 namespace lncl::util {
 
 // Dense row-major matrix of floats.
 //
 // This is the numeric workhorse of the neural-network substrate. It is a
-// plain value type (copyable, movable) with bounds-checked access in debug
-// builds. Heavy kernels (matrix products) live as free functions below so
+// plain value type (copyable, movable) with bounds-checked access in audit
+// builds (LNCL_AUDIT=ON). Heavy kernels (matrix products) live as free functions below so
 // call sites read like math.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols, float fill = 0.0f)
       : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
-    assert(rows >= 0 && cols >= 0);
+    LNCL_DCHECK(rows >= 0 && cols >= 0);
   }
 
   int rows() const { return rows_; }
@@ -28,11 +28,11 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   float& operator()(int r, int c) {
-    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    LNCL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   float operator()(int r, int c) const {
-    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    LNCL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
@@ -60,7 +60,7 @@ class Matrix {
   // garbage with respect to the new shape). For outputs that are fully
   // overwritten, e.g. by a beta=0 Gemm.
   void ResizeNoZero(int rows, int cols) {
-    assert(rows >= 0 && cols >= 0);
+    LNCL_DCHECK(rows >= 0 && cols >= 0);
     rows_ = rows;
     cols_ = cols;
     data_.resize(static_cast<size_t>(rows) * cols);
@@ -145,4 +145,3 @@ float Dot(const Vector& a, const Vector& b);
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_MATRIX_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_RNG_H_
-#define LNCL_UTIL_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -73,4 +72,3 @@ class Rng {
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_RNG_H_

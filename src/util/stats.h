@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_STATS_H_
-#define LNCL_UTIL_STATS_H_
+#pragma once
 
 #include <vector>
 
@@ -57,4 +56,3 @@ double ChiSquaredQuantile(double p, double df);
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_STATS_H_

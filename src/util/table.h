@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_TABLE_H_
-#define LNCL_UTIL_TABLE_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -48,4 +47,3 @@ std::string FormatMeanStd(double mean, double stddev);
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_THREADPOOL_H_
-#define LNCL_UTIL_THREADPOOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <functional>
@@ -96,4 +95,3 @@ class Parallelizer {
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_THREADPOOL_H_

@@ -1,5 +1,4 @@
-#ifndef LNCL_UTIL_TIMER_H_
-#define LNCL_UTIL_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -33,4 +32,3 @@ class Stopwatch {
 
 }  // namespace lncl::util
 
-#endif  // LNCL_UTIL_TIMER_H_

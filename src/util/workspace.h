@@ -1,10 +1,15 @@
-#ifndef LNCL_UTIL_WORKSPACE_H_
-#define LNCL_UTIL_WORKSPACE_H_
+#pragma once
 
 #include <cstddef>
 #include <deque>
 
+#include "util/check.h"
 #include "util/matrix.h"
+
+#if LNCL_AUDIT_ENABLED
+#include <algorithm>
+#include <limits>
+#endif
 
 namespace lncl::util {
 
@@ -49,6 +54,18 @@ class Workspace {
   size_t in_use_ = 0;
 };
 
+#if LNCL_AUDIT_ENABLED
+// Audit builds hand out workspace matrices filled with signaling NaN instead
+// of stale garbage: a packed kernel that reads a lane before writing it then
+// propagates NaN into its (audited) outputs instead of silently reusing a
+// previous bucket's values. Plain builds keep the contents untouched — the
+// contract that they are unspecified is unchanged.
+inline void PoisonForAudit(Matrix* m) {
+  std::fill_n(m->data(), m->size(),
+              std::numeric_limits<float>::signaling_NaN());
+}
+#endif
+
 // RAII cursor mark over the calling thread's Workspace. All matrices handed
 // out by this scope are reclaimed (capacity kept, contents abandoned) when
 // the scope is destroyed.
@@ -61,12 +78,21 @@ class WorkspaceScope {
   WorkspaceScope& operator=(const WorkspaceScope&) = delete;
 
   // A pooled matrix with unspecified contents and shape.
-  Matrix& NewMatrix() { return *ws_.Acquire(); }
+  Matrix& NewMatrix() {
+    Matrix& m = *ws_.Acquire();
+#if LNCL_AUDIT_ENABLED
+    PoisonForAudit(&m);
+#endif
+    return m;
+  }
 
   // A pooled matrix resized to rows x cols without initialization.
   Matrix& NewMatrix(int rows, int cols) {
     Matrix& m = *ws_.Acquire();
     m.ResizeNoZero(rows, cols);
+#if LNCL_AUDIT_ENABLED
+    PoisonForAudit(&m);
+#endif
     return m;
   }
 
@@ -76,5 +102,3 @@ class WorkspaceScope {
 };
 
 }  // namespace lncl::util
-
-#endif  // LNCL_UTIL_WORKSPACE_H_

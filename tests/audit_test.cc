@@ -1,0 +1,168 @@
+// Coverage for the LNCL_AUDIT contract layer (src/util/check.h).
+//
+// Every fixture here is deliberately corrupted — a denormalized posterior, a
+// non-stochastic confusion row, a NaN gradient, a read of poisoned workspace
+// memory. Under -DLNCL_AUDIT=ON each one must abort through
+// util::CheckFailure (asserted with death tests); in a plain build the same
+// fixtures must run to completion silently, because every audit macro
+// compiles to an unevaluated no-op. The suite is built in both modes by
+// scripts/check.sh, so both halves of the contract stay tested.
+
+#include <cmath>
+#include <limits>
+
+#include "crowd/confusion.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "logic/posterior_reg.h"
+#include "logic/sequence_rules.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "util/check.h"
+#include "util/matrix.h"
+#include "util/workspace.h"
+
+namespace lncl {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+util::Matrix UniformRows(int rows, int cols) {
+  return util::Matrix(rows, cols, 1.0f / static_cast<float>(cols));
+}
+
+#if LNCL_AUDIT_ENABLED
+#define LNCL_EXPECT_AUDIT_DEATH(stmt, pattern) \
+  EXPECT_DEATH({ stmt; }, pattern)
+#else
+// Plain build: the statement must execute without tripping anything.
+#define LNCL_EXPECT_AUDIT_DEATH(stmt, pattern) \
+  do {                                         \
+    stmt;                                      \
+    SUCCEED();                                 \
+  } while (0)
+#endif
+
+TEST(AuditMacrosTest, ValidFixturesPassInEveryMode) {
+  const util::Matrix q = UniformRows(4, 3);
+  LNCL_AUDIT_SIMPLEX(q);
+  LNCL_AUDIT_ROW_STOCHASTIC(q);
+  LNCL_AUDIT_FINITE(q);
+  LNCL_AUDIT_SHAPE(q, 4, 3);
+  LNCL_DCHECK(q.rows() == 4);
+  const util::Vector v = {0.25f, 0.75f};
+  LNCL_AUDIT_SIMPLEX(v);
+  LNCL_AUDIT_FINITE(v);
+}
+
+TEST(AuditMacrosTest, OperandsAreUnevaluatedWhenAuditIsOff) {
+  int calls = 0;
+  auto touch = [&calls]() {
+    ++calls;
+    return 1.0f;
+  };
+  LNCL_AUDIT_FINITE(touch());
+  LNCL_DCHECK(touch() > 0.0f);
+  EXPECT_EQ(calls, LNCL_AUDIT_ENABLED ? 2 : 0);
+}
+
+TEST(AuditDeathTest, CorruptedSimplexTrips) {
+  util::Matrix q = UniformRows(2, 3);
+  q(1, 1) += 0.5f;  // row 1 now sums to ~1.5
+  LNCL_EXPECT_AUDIT_DEATH(LNCL_AUDIT_SIMPLEX(q), "CHECK failed: q");
+}
+
+TEST(AuditDeathTest, NegativeEntryTripsSimplex) {
+  util::Matrix q = UniformRows(1, 2);
+  q(0, 0) = -0.5f;
+  q(0, 1) = 1.5f;  // sums to 1, but is no distribution
+  LNCL_EXPECT_AUDIT_DEATH(LNCL_AUDIT_SIMPLEX(q), "not a probability");
+}
+
+TEST(AuditDeathTest, NonStochasticConfusionRowTrips) {
+  // Through the real Eq. 12 closed form: NormalizeRows preserves the sign of
+  // a corrupted (negative) count, so the normalized row is not a
+  // distribution and the audit wired into NormalizeRows itself must fire.
+  crowd::ConfusionMatrix pi(3);
+  pi.matrix()(1, 0) = -0.5f;
+  pi.matrix()(1, 1) = 1.0f;
+  pi.matrix()(1, 2) = 1.0f;
+  LNCL_EXPECT_AUDIT_DEATH(pi.NormalizeRows(0.0), "row-stochastic");
+}
+
+TEST(AuditDeathTest, NanGradientTripsOptimizerStep) {
+  nn::Parameter p("w", 2, 2);
+  p.grad(0, 0) = kNan;
+  nn::Sgd sgd(0.1);
+  std::vector<nn::Parameter*> params = {&p};
+  LNCL_EXPECT_AUDIT_DEATH(sgd.Step(params), "not finite");
+#if !LNCL_AUDIT_ENABLED
+  // Plain build applies the poisoned step; the fixture must still have run.
+  EXPECT_TRUE(std::isnan(p.value(0, 0)));
+#endif
+}
+
+TEST(AuditDeathTest, PoisonedWorkspaceReadTrips) {
+  // Audit builds fill workspace matrices with signaling NaN on acquisition;
+  // auditing one before anything wrote it is exactly the read-before-write
+  // bug the poisoning exists to catch.
+  util::WorkspaceScope scope;
+  util::Matrix& scratch = scope.NewMatrix(2, 2);
+  ASSERT_EQ(scratch.rows(), 2);
+  LNCL_EXPECT_AUDIT_DEATH(LNCL_AUDIT_FINITE(scratch), "not finite");
+  scratch.Zero();  // a written matrix must always pass
+  LNCL_AUDIT_FINITE(scratch);
+}
+
+TEST(AuditDeathTest, ShapeMismatchTrips) {
+  const util::Matrix m(3, 2);
+  LNCL_EXPECT_AUDIT_DEATH(LNCL_AUDIT_SHAPE(m, 2, 3), "shape 3x2");
+}
+
+TEST(AuditDeathTest, CorruptedPosteriorTripsEq15Projection) {
+  util::Matrix q = UniformRows(2, 2);
+  q(0, 0) = kNan;
+  const util::Matrix penalties(2, 2);
+  LNCL_EXPECT_AUDIT_DEATH(logic::ProjectIndependent(q, penalties, 5.0),
+                          "CHECK failed");
+}
+
+TEST(AuditDeathTest, NanPotentialTripsSequenceDp) {
+  util::Matrix penalty(3, 3);
+  const logic::SequenceRuleProjector proj(penalty);
+  util::Matrix q = UniformRows(4, 3);
+  q(2, 1) = kNan;
+  const data::Instance x;
+  LNCL_EXPECT_AUDIT_DEATH(proj.Project(x, q, 5.0), "not finite");
+}
+
+TEST(AuditDeathTest, ValidInputsSurviveTheAuditedPaths) {
+  // The same code paths as above with healthy inputs: no audit may fire in
+  // either mode.
+  crowd::ConfusionMatrix pi(3);
+  pi.NormalizeRows(1e-6);
+
+  nn::Parameter p("w", 2, 2);
+  p.grad.Fill(0.25f);
+  nn::Sgd sgd(0.1);
+  std::vector<nn::Parameter*> params = {&p};
+  sgd.Step(params);
+
+  const util::Matrix q = UniformRows(2, 2);
+  const util::Matrix penalties(2, 2);
+  const util::Matrix projected = logic::ProjectIndependent(q, penalties, 5.0);
+  EXPECT_EQ(projected.rows(), 2);
+}
+
+#if LNCL_AUDIT_ENABLED
+TEST(AuditDeathTest, OutOfBoundsAccessTripsDcheck) {
+  // Bounds DCHECKs in Matrix::operator() are active only in audit builds;
+  // the plain build elides the check (and the access would be UB), so this
+  // case exists only under LNCL_AUDIT.
+  util::Matrix m(2, 2);
+  EXPECT_DEATH(static_cast<void>(m(2, 0)), "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace lncl

@@ -823,5 +823,32 @@ TEST(MatrixTest, ResizeNoZeroKeepsShapeButSkipsFill) {
   EXPECT_EQ(m(0, 1), 0.0f);
 }
 
+TEST(CheckTest, PassingCheckIsSilent) {
+  LNCL_CHECK(1 + 1 == 2);  // must not abort or log
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithFileAndLine) {
+  // LNCL_CHECK is always on — release builds included — and must identify
+  // the failing expression and call site even when the log threshold would
+  // swallow an Error record.
+  Logger::SetLogLevel(LogLevel::kError);
+  EXPECT_DEATH(LNCL_CHECK(2 + 2 == 5),
+               "util_test\\.cc:[0-9]+\\] CHECK failed: 2 \\+ 2 == 5");
+  Logger::SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(CheckDeathTest, CheckFailureCarriesDetail) {
+  EXPECT_DEATH(CheckFailure("dir/some_file.cc", 42, "p != nullptr", "ctx"),
+               "some_file\\.cc:42\\] CHECK failed: p != nullptr \\(ctx\\)");
+}
+
+TEST(CheckTest, DcheckMatchesBuildMode) {
+#if LNCL_AUDIT_ENABLED
+  EXPECT_DEATH(LNCL_DCHECK(false), "CHECK failed: false");
+#else
+  LNCL_DCHECK(false);  // compiled out: must be a no-op
+#endif
+}
+
 }  // namespace
 }  // namespace lncl::util

@@ -1,0 +1,2 @@
+// Fixture: trips the `alloc` rule — raw array new in library code.
+float* MakeBuffer(int n) { return new float[n]; }

@@ -1,0 +1,3 @@
+// Fixture: trips the `assert` rule — vanishes under NDEBUG.
+#include <cassert>
+void Check(int n) { assert(n > 0); }

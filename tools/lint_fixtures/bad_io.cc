@@ -1,0 +1,3 @@
+// Fixture: trips the `io` rule — direct stdout write from library code.
+#include <cstdio>
+void Report(int n) { printf("n=%d\n", n); }

@@ -1,0 +1,5 @@
+// Fixture: trips the `pragma-once` rule — legacy include guard only.
+#ifndef LNCL_LINT_FIXTURE_H_
+#define LNCL_LINT_FIXTURE_H_
+int Version();
+#endif  // LNCL_LINT_FIXTURE_H_

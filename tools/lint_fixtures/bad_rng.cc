@@ -1,0 +1,3 @@
+// Fixture: trips the `rng` rule — unseeded library randomness.
+#include <cstdlib>
+int Roll() { return std::rand() % 6; }

@@ -1,0 +1,5 @@
+// Fixture: clean library code — must trip no rule. snprintf and
+// static_assert are legal and must not be confused with printf / assert.
+#include <cstdio>
+static_assert(sizeof(int) >= 4, "int width");
+int Format(char* buf, int n) { return std::snprintf(buf, 8, "%d", n); }

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: clean header — must trip no rule.
+int Version();
