@@ -17,6 +17,9 @@
 #include "inference/majority_vote.h"
 #include "inference/pm.h"
 #include "models/logreg.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
@@ -253,6 +256,21 @@ void Run(int argc, char** argv) {
   // ---- Timed end-to-end fit: batched pipeline vs the per-instance path.
   // Same seed for both, so the trajectories (and therefore the work done per
   // epoch) are bit-identical; only the prediction pipeline differs.
+  //
+  // --telemetry (default on) turns the timed fits into the telemetry
+  // showcase: metrics registry enabled, a Perfetto-loadable trace of both
+  // fits, and a per-epoch run log attached to the batched one. All of it is
+  // observation-only, so the batched/per_instance digest equality in
+  // results/BENCH_table2.json is unaffected.
+  const bool telemetry = config.GetBool("telemetry", true);
+  std::unique_ptr<obs::JsonlRunLogger> run_log;
+  if (telemetry) {
+    obs::Metrics::Enable(true);
+    obs::Metrics::Reset();
+    obs::Trace::Start("results/trace_table2.json");
+    run_log = std::make_unique<obs::JsonlRunLogger>(
+        "results/runlog_table2.jsonl", "table2/batched");
+  }
   std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
                "per-instance) ---\n";
   std::vector<TimedFit> fits;
@@ -262,11 +280,22 @@ void Run(int argc, char** argv) {
     core::SentimentButRule rule(model.get(), setup.corpus.but_token);
     core::LogicLnclConfig lcfg = SentimentLnclConfig(scale);
     lcfg.batch_predict = batched;
+    if (batched && run_log != nullptr) lcfg.run_observer = run_log.get();
     core::LogicLncl m(lcfg, std::move(model), &rule, cnn);
-    const core::LogicLnclResult res = m.Fit(train, ann, dev, &rng);
+    core::LogicLnclResult res;
+    {
+      LNCL_TRACE_SPAN_ARG("timed_fit", "batched", batched ? 1 : 0);
+      res = m.Fit(train, ann, dev, &rng);
+    }
     const std::string mode = batched ? "batched" : "per_instance";
     PrintPhaseSeconds("Logic-LNCL fit (" + mode + ")", res.phase_seconds);
     fits.push_back({mode, res});
+  }
+  if (telemetry) {
+    obs::Trace::Stop();
+    obs::Metrics::WriteSnapshotJson("results/metrics_table2.json");
+    std::cout << "[telemetry: results/trace_table2.json "
+                 "results/runlog_table2.jsonl results/metrics_table2.json]\n";
   }
   EmitBenchJson("table2", bench_timer.Seconds(), fits);
 }

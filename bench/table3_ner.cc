@@ -16,6 +16,9 @@
 #include "inference/hmm_crowd.h"
 #include "inference/ibcc.h"
 #include "inference/majority_vote.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
@@ -265,6 +268,18 @@ void Run(int argc, char** argv) {
   // ---- Timed end-to-end fit: batched pipeline vs the per-instance path.
   // Same seed for both, so the trajectories (and therefore the work done per
   // epoch) are bit-identical; only the prediction pipeline differs.
+  // --telemetry (default on) additionally records a trace of both fits, a
+  // per-epoch run log of the batched one, and a metrics snapshot — all
+  // observation-only (digest equality in BENCH_table3.json is unaffected).
+  const bool telemetry = config.GetBool("telemetry", true);
+  std::unique_ptr<obs::JsonlRunLogger> run_log;
+  if (telemetry) {
+    obs::Metrics::Enable(true);
+    obs::Metrics::Reset();
+    obs::Trace::Start("results/trace_table3.json");
+    run_log = std::make_unique<obs::JsonlRunLogger>(
+        "results/runlog_table3.jsonl", "table3/batched");
+  }
   std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
                "per-instance) ---\n";
   std::vector<TimedFit> fits;
@@ -272,11 +287,22 @@ void Run(int argc, char** argv) {
     util::Rng rng(424242);
     core::LogicLnclConfig lcfg = NerLnclConfig(scale);
     lcfg.batch_predict = batched;
+    if (batched && run_log != nullptr) lcfg.run_observer = run_log.get();
     core::LogicLncl m(lcfg, tagger, projector.get());
-    const core::LogicLnclResult res = m.Fit(train, ann, dev, &rng);
+    core::LogicLnclResult res;
+    {
+      LNCL_TRACE_SPAN_ARG("timed_fit", "batched", batched ? 1 : 0);
+      res = m.Fit(train, ann, dev, &rng);
+    }
     const std::string mode = batched ? "batched" : "per_instance";
     PrintPhaseSeconds("Logic-LNCL fit (" + mode + ")", res.phase_seconds);
     fits.push_back({mode, res});
+  }
+  if (telemetry) {
+    obs::Trace::Stop();
+    obs::Metrics::WriteSnapshotJson("results/metrics_table3.json");
+    std::cout << "[telemetry: results/trace_table3.json "
+                 "results/runlog_table3.jsonl results/metrics_table3.json]\n";
   }
   EmitBenchJson("table3", bench_timer.Seconds(), fits);
 }

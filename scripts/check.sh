@@ -20,13 +20,60 @@
 # is checked under both sanitizers. All sweeps build with -DLNCL_WERROR=ON:
 # the tree must stay warning-clean under -Wall -Wextra -Wshadow.
 #
-#   scripts/check.sh              # lint + all three sweeps
-#   scripts/check.sh audit        # lint + audit sweep only
-#   scripts/check.sh thread       # lint + TSan only
+# Between lint and the sweeps, a trace-smoke step runs a tiny table2 bench
+# with telemetry on and validates the emitted artifacts: the trace file must
+# parse as Chrome trace-event JSON with span events, and every run-log line
+# must parse as JSON carrying the lncl.em_run.v1 schema.
+#
+#   scripts/check.sh              # lint + trace smoke + all three sweeps
+#   scripts/check.sh audit        # lint + trace smoke + audit sweep only
+#   scripts/check.sh thread       # lint + trace smoke + TSan only
 set -euo pipefail
 cd "$(dirname "$0")/.."
+root=$(pwd)
 
 scripts/lint.sh
+
+echo "===== trace smoke (tiny telemetry-on table2 run) ====="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target table2_sentiment
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+(cd "$smoke" && "$root/build/bench/table2_sentiment" --runs=0 --train=120 \
+  --dev=60 --test=60 --annotators=8 --epochs=2 >/dev/null)
+python3 - "$smoke" <<'EOF'
+import json
+import sys
+
+smoke = sys.argv[1]
+trace = json.load(open(f"{smoke}/results/trace_table2.json"))
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "trace has no complete ('X') span events"
+names = {e["name"] for e in spans}
+for expected in ("fit", "epoch", "e_step"):
+    assert expected in names, f"trace missing span '{expected}': {sorted(names)}"
+assert all("ts" in e and "dur" in e for e in spans), "span missing ts/dur"
+
+lines = [l for l in open(f"{smoke}/results/runlog_table2.jsonl")
+         if l.strip()]
+assert lines, "run log is empty"
+for line in lines:
+    rec = json.loads(line)
+    assert rec["schema"] == "lncl.em_run.v1", rec
+    assert rec["record"] in ("epoch", "fit_end"), rec
+    if rec["record"] == "epoch":
+        for key in ("epoch", "loss", "dev_score", "k", "phase_seconds",
+                    "rule_satisfaction", "confusion_diag_mass"):
+            assert key in rec, f"epoch record missing {key}"
+assert lines and json.loads(lines[-1])["record"] == "fit_end", \
+    "run log does not end with a fit_end record"
+
+json.load(open(f"{smoke}/results/metrics_table2.json"))
+print(f"trace smoke ok: {len(spans)} spans, {len(lines)} run-log records")
+EOF
+rm -rf "$smoke"
+trap - EXIT
 
 sweeps=("audit" "address,undefined" "thread")
 if [ $# -ge 1 ]; then

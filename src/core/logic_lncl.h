@@ -14,6 +14,10 @@
 #include "nn/optimizer.h"
 #include "util/rng.h"
 
+namespace lncl::obs {
+class RunObserver;
+}  // namespace lncl::obs
+
 namespace lncl::core {
 
 // Schedule for the imitation strength k as a function of the (0-based)
@@ -52,6 +56,12 @@ struct LogicLnclConfig {
   // this is purely a performance switch; false keeps the PR-1-era
   // per-instance pipeline (the bench baseline).
   bool batch_predict = true;
+  // Optional telemetry sink (src/obs/run_log.h): receives one EpochRecord
+  // per epoch (loss, dev score, k(t), KL(q_a || q_b), rule satisfaction,
+  // confusion diagnostics, phase seconds) and a FitSummary when Fit returns.
+  // Observation only — attaching an observer never changes the fitted
+  // numbers. Not owned; null (default) skips all diagnostic computation.
+  obs::RunObserver* run_observer = nullptr;
 };
 
 // Wall-clock breakdown of the Fit epoch loop, summed over epochs (seconds).
@@ -64,10 +74,18 @@ struct PhaseSeconds {
 };
 
 // Summary of a fitted run.
+//
+// Curve bookkeeping: dev_curve / loss_curve hold one entry per epoch that
+// actually ran (size == epochs_run, which can be < config.epochs when early
+// stopping fires). best_epoch indexes into those curves and names the epoch
+// whose parameters, q_f, and confusions were restored — NOT the last epoch
+// run; when early_stopped is true the curves carry a post-best tail of
+// `patience` non-improving epochs whose updates were discarded.
 struct LogicLnclResult {
   double best_dev_score = 0.0;  // dev accuracy / span-F1 at the best epoch
-  int best_epoch = -1;
-  int epochs_run = 0;
+  int best_epoch = -1;          // epoch restored by model selection
+  int epochs_run = 0;           // epochs actually executed (curve length)
+  bool early_stopped = false;   // true iff patience ended the run early
   std::vector<double> dev_curve;   // dev score per epoch (student)
   std::vector<double> loss_curve;  // mean training loss per epoch
   PhaseSeconds phase_seconds;      // where the time went

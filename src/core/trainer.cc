@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace lncl::core {
@@ -83,9 +84,11 @@ double RunMinibatchEpochSharded(const data::Dataset& dataset,
 
   double total_loss = 0.0;
   for (int start = 0; start < n; start += batch_size) {
+    LNCL_TRACE_SPAN_ARG("minibatch", "start", start);
     const int len = std::min(batch_size, n - start);
     double slot_loss[kSlots] = {0.0};
     exec->RunSlots(kSlots, [&](int s) {
+      LNCL_TRACE_SPAN_ARG("m_step_shard", "slot", s);
       const auto [b, e] = util::Parallelizer::SlotRange(len, s, kSlots);
       models::Model* m = slot_models[s];
       for (int p = b; p < e; ++p) {
@@ -228,6 +231,7 @@ void UpdateConfusions(const std::vector<util::Matrix>& qf,
     constexpr int kSlots = util::Parallelizer::kSlots;
     std::vector<std::vector<util::Matrix>> acc(kSlots);
     exec->RunSlots(kSlots, [&](int s) {
+      LNCL_TRACE_SPAN_ARG("confusion_shard", "slot", s);
       acc[s].assign(num_annotators, util::Matrix(k, k));
       const auto [b, e_end] = util::Parallelizer::SlotRange(
           annotations.num_instances(), s, kSlots);

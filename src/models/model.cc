@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace lncl::models {
 
 void Model::PredictBatch(const std::vector<const data::Instance*>& xs,
@@ -50,6 +52,18 @@ std::vector<LengthBucket> BucketByLength(
                        members.begin() + static_cast<long>(end));
       buckets.push_back(std::move(b));
     }
+  }
+  if (obs::Metrics::enabled()) {
+    // Packing efficiency of the batched prediction path: how full the
+    // equal-length [B, L] blocks actually run (cap kMaxPredictBatch = 64).
+    static obs::Histogram* const occupancy = obs::Metrics::GetHistogram(
+        "predict_batch.bucket_occupancy", {1, 2, 4, 8, 16, 32, 64});
+    static obs::Counter* const instances =
+        obs::Metrics::GetCounter("predict_batch.instances");
+    for (const LengthBucket& b : buckets) {
+      occupancy->Observe(static_cast<double>(b.members.size()));
+    }
+    instances->Add(xs.size());
   }
   return buckets;
 }

@@ -2,12 +2,27 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace lncl::nn {
 
+namespace {
+
+// One optimizer update applied to a parameter set (any optimizer kind).
+void CountStep() {
+  if (obs::Metrics::enabled()) {
+    static obs::Counter* const steps =
+        obs::Metrics::GetCounter("optimizer.steps");
+    steps->Increment();
+  }
+}
+
+}  // namespace
+
 void Sgd::Step(const std::vector<Parameter*>& params) {
+  CountStep();
   MaybeClip(params);
   for (Parameter* p : params) {
     LNCL_AUDIT_FINITE(p->grad);
@@ -29,6 +44,7 @@ void Sgd::Step(const std::vector<Parameter*>& params) {
 }
 
 void Adam::Step(const std::vector<Parameter*>& params) {
+  CountStep();
   MaybeClip(params);
   ++step_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
@@ -60,6 +76,7 @@ void Adam::Step(const std::vector<Parameter*>& params) {
 }
 
 void Adadelta::Step(const std::vector<Parameter*>& params) {
+  CountStep();
   MaybeClip(params);
   for (Parameter* p : params) {
     LNCL_AUDIT_FINITE(p->grad);

@@ -1,0 +1,60 @@
+#include "obs/run_log.h"
+
+#include <sstream>
+
+namespace lncl::obs {
+
+namespace {
+
+// Round-trip double formatting (no locale, no trailing-zero padding).
+std::string Num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+JsonlRunLogger::JsonlRunLogger(const std::string& path, std::string label)
+    : os_(path), label_(std::move(label)) {}
+
+void JsonlRunLogger::OnEpoch(const EpochRecord& r) {
+  if (!os_) return;
+  os_ << "{\"schema\": \"lncl.em_run.v1\", \"record\": \"epoch\""
+      << ", \"run\": \"" << label_ << "\""
+      << ", \"epoch\": " << r.epoch << ", \"k\": " << Num(r.k)
+      << ", \"loss\": " << Num(r.loss)
+      << ", \"dev_score\": " << Num(r.dev_score)
+      << ", \"is_best\": " << (r.is_best ? "true" : "false")
+      << ", \"mean_kl_qa_qb\": " << Num(r.mean_kl_qa_qb)
+      << ", \"rule_satisfaction\": " << Num(r.rule_satisfaction)
+      << ", \"projected_items\": " << r.projected_items
+      << ", \"confusion_diag_mass\": " << Num(r.confusion_diag_mass)
+      << ", \"confusion_drift\": " << Num(r.confusion_drift)
+      << ", \"phase_seconds\": {\"m_step\": " << Num(r.m_step_seconds)
+      << ", \"confusion\": " << Num(r.confusion_seconds)
+      << ", \"e_step\": " << Num(r.e_step_seconds)
+      << ", \"dev_eval\": " << Num(r.dev_eval_seconds) << "}"
+      << ", \"e_step_instances_per_second\": "
+      << Num(r.e_step_instances_per_second) << ", \"metric_deltas\": {";
+  for (size_t i = 0; i < r.metric_deltas.size(); ++i) {
+    os_ << (i ? ", " : "") << "\"" << r.metric_deltas[i].first
+        << "\": " << r.metric_deltas[i].second;
+  }
+  os_ << "}}\n";
+  os_.flush();
+}
+
+void JsonlRunLogger::OnFitEnd(const FitSummary& s) {
+  if (!os_) return;
+  os_ << "{\"schema\": \"lncl.em_run.v1\", \"record\": \"fit_end\""
+      << ", \"run\": \"" << label_ << "\""
+      << ", \"best_epoch\": " << s.best_epoch
+      << ", \"epochs_run\": " << s.epochs_run
+      << ", \"early_stopped\": " << (s.early_stopped ? "true" : "false")
+      << ", \"best_dev_score\": " << Num(s.best_dev_score) << "}\n";
+  os_.flush();
+}
+
+}  // namespace lncl::obs

@@ -1,0 +1,130 @@
+#pragma once
+
+// Trace-event spans over the EM loop, flushed as Chrome/Perfetto JSON.
+//
+// Spans are RAII scopes recorded into fixed-capacity per-thread buffers —
+// recording never takes a lock: one release store per event, no allocation
+// after a buffer's first event, so worker threads in the sharded
+// E-step/M-step never serialize on telemetry. Trace::Stop() merges every thread's buffer
+// into a `traceEvents` JSON array ("X" complete events, microsecond
+// timestamps relative to session start, one tid per recording thread) that
+// chrome://tracing and ui.perfetto.dev load directly.
+//
+// Gating mirrors util/check.h's LNCL_AUDIT pattern, with one difference:
+// the compile switch (-DLNCL_TRACE, CMake option LNCL_TRACE, default ON)
+// defaults to compiled-in because the idle cost is one relaxed atomic load
+// per span — the runtime flag (Trace::Start/Stop) is the everyday switch,
+// and -DLNCL_TRACE=OFF exists to prove/remove even that residue. Spans only
+// observe; a traced fit is bit-identical to a plain one (FitDigest-checked
+// by scripts/bench_obs_overhead.sh).
+//
+// PhaseSpan is the always-compiled sibling that additionally accumulates
+// its elapsed seconds into a caller-owned double. The Fit epoch loop uses
+// it for the m_step / confusion / e_step / dev_eval phases, so
+// LogicLnclResult::phase_seconds is derived from the very spans the trace
+// shows instead of a parallel Stopwatch::Lap() bookkeeping chain.
+
+#include <cstdint>
+#include <string>
+
+#if defined(LNCL_TRACE)
+#define LNCL_TRACE_ENABLED 1
+#else
+#define LNCL_TRACE_ENABLED 0
+#endif
+
+namespace lncl::obs {
+
+class Trace {
+ public:
+  // Begins a recording session that will be written to `path` by Stop().
+  // Returns false (and records nothing) when tracing is compiled out or a
+  // session is already active.
+  static bool Start(const std::string& path);
+
+  // Ends the session and flushes the JSON file. Returns false when no
+  // session was active or the file could not be written.
+  static bool Stop();
+
+  static bool active();
+
+  // Events discarded because a thread's buffer filled (per session).
+  static uint64_t dropped_events();
+};
+
+#if LNCL_TRACE_ENABLED
+
+namespace trace_internal {
+
+// Appends one complete event. ts/dur in microseconds since session start;
+// arg_name may be null (no args object). name/arg_name must be string
+// literals (stored as pointers, read at flush).
+void RecordComplete(const char* name, double ts_us, double dur_us,
+                    const char* arg_name, int64_t arg);
+
+// Microseconds since the session started (0 when inactive).
+double NowUs();
+
+}  // namespace trace_internal
+
+// RAII span: records a complete event covering its lifetime when a session
+// is active at destruction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : TraceSpan(name, nullptr, 0) {}
+  TraceSpan(const char* name, const char* arg_name, int64_t arg)
+      : name_(name), arg_name_(arg_name), arg_(arg) {
+    if (Trace::active()) start_us_ = trace_internal::NowUs();
+  }
+  ~TraceSpan() {
+    if (start_us_ >= 0.0 && Trace::active()) {
+      trace_internal::RecordComplete(
+          name_, start_us_, trace_internal::NowUs() - start_us_, arg_name_,
+          arg_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* arg_name_;
+  int64_t arg_;
+  double start_us_ = -1.0;
+};
+
+#define LNCL_TRACE_CONCAT_(a, b) a##b
+#define LNCL_TRACE_CONCAT(a, b) LNCL_TRACE_CONCAT_(a, b)
+#define LNCL_TRACE_SPAN(name) \
+  ::lncl::obs::TraceSpan LNCL_TRACE_CONCAT(lncl_trace_span_, __LINE__)(name)
+#define LNCL_TRACE_SPAN_ARG(name, arg_name, arg)                       \
+  ::lncl::obs::TraceSpan LNCL_TRACE_CONCAT(lncl_trace_span_, __LINE__)( \
+      name, arg_name, arg)
+
+#else  // !LNCL_TRACE_ENABLED
+
+#define LNCL_TRACE_SPAN(name) static_cast<void>(0)
+#define LNCL_TRACE_SPAN_ARG(name, arg_name, arg) static_cast<void>(0)
+
+#endif  // LNCL_TRACE_ENABLED
+
+// Phase timer: always accumulates elapsed seconds into *accum on
+// destruction (this is how PhaseSeconds is measured), and doubles as a
+// trace span when a session is active and tracing is compiled in.
+class PhaseSpan {
+ public:
+  PhaseSpan(const char* name, double* accum);
+  ~PhaseSpan();
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  const char* name_;
+  double* accum_;
+  int64_t start_ns_;
+  double start_us_;  // trace timestamp; < 0 when not tracing
+};
+
+}  // namespace lncl::obs

@@ -1,12 +1,67 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace lncl::util {
 
+namespace {
+
+// LNCL_LOG_LEVEL (debug|info|warning|error, case-insensitive; warn/err
+// accepted) pins the threshold for the whole process: it is read once, and
+// while forced, programmatic SetLogLevel calls are ignored — so e.g.
+// LNCL_LOG_LEVEL=debug surfaces per-epoch trainer chatter through benches
+// that default themselves to kWarning.
+struct EnvLevel {
+  bool forced = false;
+  LogLevel level = LogLevel::kInfo;
+};
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a && *b; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+EnvLevel ReadEnvLevel() {
+  EnvLevel env;
+  const char* value = std::getenv("LNCL_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return env;
+  if (EqualsIgnoreCase(value, "debug")) {
+    env = {true, LogLevel::kDebug};
+  } else if (EqualsIgnoreCase(value, "info")) {
+    env = {true, LogLevel::kInfo};
+  } else if (EqualsIgnoreCase(value, "warning") ||
+             EqualsIgnoreCase(value, "warn")) {
+    env = {true, LogLevel::kWarning};
+  } else if (EqualsIgnoreCase(value, "error") ||
+             EqualsIgnoreCase(value, "err")) {
+    env = {true, LogLevel::kError};
+  } else {
+    std::fprintf(stderr,
+                 "[WARN logging.cc] unrecognized LNCL_LOG_LEVEL '%s' "
+                 "(want debug|info|warning|error); ignoring\n",
+                 value);
+  }
+  return env;
+}
+
+const EnvLevel& GetEnvLevel() {
+  static const EnvLevel env = ReadEnvLevel();
+  return env;
+}
+
+}  // namespace
+
 std::mutex Logger::mu_;
-LogLevel Logger::threshold_ = LogLevel::kInfo;
+LogLevel Logger::threshold_ =
+    GetEnvLevel().forced ? GetEnvLevel().level : LogLevel::kInfo;
 
 namespace {
 
@@ -43,6 +98,7 @@ Logger::~Logger() {
 }
 
 void Logger::SetLogLevel(LogLevel level) {
+  if (GetEnvLevel().forced) return;  // LNCL_LOG_LEVEL wins for the process
   std::unique_lock<std::mutex> lock(mu_);
   threshold_ = level;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lncl::util {
 
 void Matrix::AddScaled(const Matrix& other, float alpha) {
@@ -170,6 +172,15 @@ void GemmTT(int m, int n, int kd, float alpha, const float* a, int lda,
 void GemmRaw(int m, int n, int k, float alpha, const float* a, int lda,
              Trans trans_a, const float* b, int ldb, Trans trans_b, float beta,
              float* c, int ldc) {
+  if (obs::Metrics::enabled()) {
+    // Every dense product funnels through here (Gemm delegates), so these
+    // two counters are the system-wide GEMM call/FLOP ledger.
+    static obs::Counter* const calls = obs::Metrics::GetCounter("gemm.calls");
+    static obs::Counter* const flops = obs::Metrics::GetCounter("gemm.flops");
+    calls->Increment();
+    flops->Add(2ull * static_cast<uint64_t>(m) * static_cast<uint64_t>(n) *
+               static_cast<uint64_t>(k));
+  }
   if (m == 0 || n == 0) return;
   if (k == 0) {
     for (int i = 0; i < m; ++i) ScaleRow(c + static_cast<size_t>(i) * ldc, n, beta);

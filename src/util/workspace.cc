@@ -1,5 +1,7 @@
 #include "util/workspace.h"
 
+#include "obs/metrics.h"
+
 namespace lncl::util {
 
 Workspace& Workspace::PerThread() {
@@ -9,7 +11,19 @@ Workspace& Workspace::PerThread() {
 
 Matrix* Workspace::Acquire() {
   if (in_use_ == pool_.size()) pool_.emplace_back();
-  return &pool_[in_use_++];
+  Matrix* m = &pool_[in_use_++];
+  if (obs::Metrics::enabled()) {
+    // High-water marks of the per-thread arena: deepest simultaneous
+    // acquisition and total pooled matrices (gauges merge by max across
+    // threads, so the snapshot shows the worst thread).
+    static obs::Gauge* const high_water =
+        obs::Metrics::GetGauge("workspace.in_use_high_water");
+    static obs::Gauge* const pooled =
+        obs::Metrics::GetGauge("workspace.pool_matrices");
+    high_water->Update(static_cast<int64_t>(in_use_));
+    pooled->Update(static_cast<int64_t>(pool_.size()));
+  }
+  return m;
 }
 
 }  // namespace lncl::util

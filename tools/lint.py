@@ -18,6 +18,11 @@ Rules (each with a per-rule allowlist of path globs):
                or LNCL_DCHECK / LNCL_AUDIT_* (audit builds), which abort
                with file:line context in every build type instead of
                vanishing under NDEBUG.
+  timing       raw clock reads (std::chrono, clock_gettime, gettimeofday)
+               are banned in src/ and bench/ outside util/timer.h and the
+               obs/ telemetry layer — timings must flow through
+               util::Stopwatch or obs::PhaseSpan so every duration lands in
+               PhaseSeconds / trace events instead of ad-hoc prints.
 
 A line may waive a rule explicitly with a trailing `// lint: allow(<rule>)`
 comment; prefer extending the allowlist for whole-file exemptions.
@@ -103,6 +108,18 @@ RULES = [
         roots=("src",),
         extensions=CODE_EXTS,
     ),
+    Rule(
+        name="timing",
+        description="raw clock read; use util::Stopwatch or obs::PhaseSpan",
+        pattern=r"std::chrono\b|"
+                r"(?<!\w)(?:clock_gettime|gettimeofday)\s*\(",
+        roots=("src", "bench"),
+        extensions=CODE_EXTS,
+        # timer.h wraps the steady clock for everyone else; the obs/ layer
+        # timestamps trace events and phase spans itself so it can stay
+        # freestanding (no util dependency).
+        allowlist=("src/util/timer.h", "src/obs/*"),
+    ),
 ]
 
 WAIVER = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)")
@@ -165,6 +182,7 @@ def self_test(root):
         "bad_alloc.cc": "alloc",
         "bad_pragma_once.h": "pragma-once",
         "bad_assert.cc": "assert",
+        "bad_timing.cc": "timing",
         "good.cc": None,
         "good.h": None,
     }

@@ -1,0 +1,7 @@
+// Fixture: trips the `timing` rule — raw clock read outside util/timer.h
+// and the obs/ telemetry layer.
+#include <chrono>
+double Now() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

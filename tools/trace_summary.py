@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Summarize src/obs telemetry artifacts (stdlib only).
+
+Reads a Chrome trace-event JSON (results/trace_*.json, as written by
+obs::Trace::Stop) and/or an EM run log (results/runlog_*.jsonl, schema
+lncl.em_run.v1, as written by obs::JsonlRunLogger) and prints:
+
+  * per-span aggregates from the trace — count, total/mean milliseconds,
+    and share of the total traced span time, sorted by total; and
+  * a per-epoch table from the run log — loss, dev score, k(t),
+    KL(q_a‖q_b), rule satisfaction, phase seconds, E-step throughput —
+    plus the fit_end summary line.
+
+Usage:
+  tools/trace_summary.py --trace results/trace_table2.json \
+                         --runlog results/runlog_table2.jsonl
+  tools/trace_summary.py --trace results/trace_table3.json
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def summarize_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+    spans = [e for e in events if e.get("ph") == "X"]
+    threads = {e.get("tid") for e in spans}
+    by_name = defaultdict(lambda: {"count": 0, "total_us": 0.0})
+    for e in spans:
+        agg = by_name[e["name"]]
+        agg["count"] += 1
+        agg["total_us"] += float(e.get("dur", 0.0))
+    grand_total = sum(a["total_us"] for a in by_name.values())
+
+    print(f"== trace: {path}")
+    print(f"   {len(spans)} spans over {len(threads)} thread track(s)")
+    print(f"   {'span':<16} {'count':>8} {'total ms':>12} "
+          f"{'mean ms':>10} {'share':>7}")
+    for name, agg in sorted(by_name.items(),
+                            key=lambda kv: -kv[1]["total_us"]):
+        total_ms = agg["total_us"] / 1000.0
+        mean_ms = total_ms / agg["count"]
+        share = agg["total_us"] / grand_total if grand_total else 0.0
+        print(f"   {name:<16} {agg['count']:>8} {total_ms:>12.3f} "
+              f"{mean_ms:>10.4f} {share:>6.1%}")
+
+
+def summarize_runlog(path):
+    epochs, ends = [], []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("schema") != "lncl.em_run.v1":
+                raise SystemExit(f"{path}: unknown schema {rec.get('schema')}")
+            (epochs if rec["record"] == "epoch" else ends).append(rec)
+
+    print(f"== run log: {path}")
+    runs = sorted({r.get("run", "") for r in epochs})
+    for run in runs:
+        rows = [r for r in epochs if r.get("run", "") == run]
+        if run:
+            print(f"   run: {run}")
+        print(f"   {'ep':>3} {'loss':>10} {'dev':>8} {'k':>6} "
+              f"{'KL(qa|qb)':>10} {'satisf':>7} {'m_step s':>9} "
+              f"{'e_step s':>9} {'inst/s':>10} {'best':>5}")
+        for r in rows:
+            ph = r.get("phase_seconds", {})
+            print(f"   {r['epoch']:>3} {r['loss']:>10.4f} "
+                  f"{r['dev_score']:>8.4f} {r['k']:>6.3f} "
+                  f"{r['mean_kl_qa_qb']:>10.5f} "
+                  f"{r['rule_satisfaction']:>7.3f} "
+                  f"{ph.get('m_step', 0.0):>9.3f} "
+                  f"{ph.get('e_step', 0.0):>9.3f} "
+                  f"{r['e_step_instances_per_second']:>10.0f} "
+                  f"{'*' if r.get('is_best') else '':>5}")
+    for end in ends:
+        run = end.get("run", "")
+        tag = f" [{run}]" if run else ""
+        stopped = "early-stopped" if end.get("early_stopped") else "ran full"
+        print(f"   fit_end{tag}: best epoch {end['best_epoch']} "
+              f"(dev {end['best_dev_score']:.4f}), "
+              f"{end['epochs_run']} epochs, {stopped}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace-event JSON to summarize")
+    parser.add_argument("--runlog", help="lncl.em_run.v1 JSONL to summarize")
+    args = parser.parse_args()
+    if not args.trace and not args.runlog:
+        parser.error("pass --trace and/or --runlog")
+    if args.trace:
+        summarize_trace(args.trace)
+    if args.runlog:
+        summarize_runlog(args.runlog)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
