@@ -1,6 +1,10 @@
 // google-benchmark micro-benchmarks for the neural-network substrate:
-// forward/backward costs of the layers that dominate Logic-LNCL training.
+// forward/backward costs of the layers that dominate Logic-LNCL training,
+// plus microkernel-level GEMM cases at the exact shapes those layers issue
+// (GFLOP/s reported per case; see src/util/gemm_kernel.h).
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "data/embedding.h"
 #include "models/ner_tagger.h"
@@ -8,7 +12,9 @@
 #include "nn/conv1d.h"
 #include "nn/gru.h"
 #include "nn/linear.h"
+#include "nn/quantize.h"
 #include "nn/softmax.h"
+#include "util/gemm_kernel.h"
 #include "util/rng.h"
 
 namespace lncl {
@@ -23,6 +29,91 @@ util::Matrix RandomMatrix(int rows, int cols, util::Rng* rng) {
   }
   return m;
 }
+
+std::vector<float> RandomBuffer(size_t n, util::Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng->Gaussian());
+  return v;
+}
+
+// Raw microkernel GEMM at the shapes the model forwards actually issue:
+//   14x16x160   Kim-CNN conv interior rows (T=18, window 5, 32-dim emb)
+//   14x64x160   NER conv interior rows (window 5)
+//   14x32x64    GRU per-gate input product gx = X W^T
+//   64x32x32    GRU recurrent gate over a 64-row length bucket
+//   1x32x32     GRU recurrent gate, per-instance serving
+//   1x2x48      Kim-CNN fc head, per-instance serving
+// Bias + ReLU ride the fused epilogue, as in the layer code.
+void GemmShapeBench(benchmark::State& state, util::gemm::Kind kind) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  if (kind == util::gemm::Kind::kSimd && !util::gemm::SimdCompiled()) {
+    state.SkipWithError("no SIMD kernel in this build");
+    return;
+  }
+  util::Rng rng(7);
+  const std::vector<float> a = RandomBuffer(static_cast<size_t>(m) * k, &rng);
+  const std::vector<float> b = RandomBuffer(static_cast<size_t>(k) * n, &rng);
+  const std::vector<float> bias = RandomBuffer(n, &rng);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  util::gemm::SetActiveKindForTest(kind);
+  for (auto _ : state) {
+    util::gemm::GemmEx(m, n, k, 1.0f, a.data(), k, util::Trans::kNo,
+                       b.data(), n, util::Trans::kNo, 0.0f, c.data(), n,
+                       bias.data(), util::Act::kRelu);
+    benchmark::DoNotOptimize(c.data());
+  }
+  util::gemm::SetActiveKindForTest(util::gemm::ParseKindEnv());
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * n * k * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmMicrokernel(benchmark::State& state) {
+  GemmShapeBench(state, util::gemm::Kind::kSimd);
+}
+BENCHMARK(BM_GemmMicrokernel)
+    ->Args({14, 16, 160})
+    ->Args({14, 64, 160})
+    ->Args({14, 32, 64})
+    ->Args({64, 32, 32})
+    ->Args({1, 32, 32})
+    ->Args({1, 2, 48});
+
+void BM_GemmScalarRef(benchmark::State& state) {
+  GemmShapeBench(state, util::gemm::Kind::kScalar);
+}
+BENCHMARK(BM_GemmScalarRef)->Args({14, 16, 160})->Args({14, 64, 160});
+
+// Int8 serving kernel at the conv-interior shapes (per-row-quantized
+// weights, fp32 accumulate; see nn/quantize.h).
+void BM_GemmInt8Microkernel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  util::Rng rng(8);
+  const std::vector<float> a = RandomBuffer(static_cast<size_t>(m) * k, &rng);
+  const std::vector<float> bias = RandomBuffer(n, &rng);
+  util::Matrix w(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) w(i, j) = static_cast<float>(rng.Gaussian());
+  }
+  nn::RowQuantized qw;
+  nn::QuantizeRows(w, &qw);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (auto _ : state) {
+    util::gemm::GemmInt8(m, n, k, a.data(), k, qw.q.data(), qw.scale.data(),
+                         c.data(), n, bias.data(), util::Act::kRelu);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * n * k * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmInt8Microkernel)
+    ->Args({14, 16, 160})
+    ->Args({14, 64, 160});
 
 void BM_LinearForward(benchmark::State& state) {
   util::Rng rng(1);

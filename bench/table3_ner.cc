@@ -283,6 +283,7 @@ void Run(int argc, char** argv) {
   std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
                "per-instance) ---\n";
   std::vector<TimedFit> fits;
+  Int8Gate int8_gate;
   for (const bool batched : {false, true}) {
     util::Rng rng(424242);
     core::LogicLnclConfig lcfg = NerLnclConfig(scale);
@@ -297,6 +298,15 @@ void Run(int argc, char** argv) {
     const std::string mode = batched ? "batched" : "per_instance";
     PrintPhaseSeconds("Logic-LNCL fit (" + mode + ")", res.phase_seconds);
     fits.push_back({mode, res});
+    if (batched) {
+      // Quantized-serving gate: strict-span F1 of int8 vs fp32 serving on
+      // the test split (LogicLnclConfig.quantized_predict).
+      int8_gate = MeasureInt8Gate(&m, test, [&](
+          const std::vector<util::Matrix>& p) {
+        return eval::PosteriorSpanF1(p, test).f1;
+      });
+      PrintInt8Gate(int8_gate);
+    }
   }
   if (telemetry) {
     obs::Trace::Stop();
@@ -304,7 +314,7 @@ void Run(int argc, char** argv) {
     std::cout << "[telemetry: results/trace_table3.json "
                  "results/runlog_table3.jsonl results/metrics_table3.json]\n";
   }
-  EmitBenchJson("table3", bench_timer.Seconds(), fits);
+  EmitBenchJson("table3", bench_timer.Seconds(), fits, &int8_gate);
 }
 
 }  // namespace

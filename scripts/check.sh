@@ -17,8 +17,11 @@
 #
 # Sanitizer sweeps finish with an explicit run of the batched-prediction
 # equivalence + determinism tests so the PredictBatch bit-identity contract
-# is checked under both sanitizers. All sweeps build with -DLNCL_WERROR=ON:
-# the tree must stay warning-clean under -Wall -Wextra -Wshadow.
+# is checked under both sanitizers. The ASan/UBSan sweep additionally reruns
+# the whole suite with LNCL_GEMM_KERNEL=scalar so the scalar GEMM twin (the
+# bit-equality reference for the SIMD microkernels) gets its own sanitized
+# pass. All sweeps build with -DLNCL_WERROR=ON: the tree must stay
+# warning-clean under -Wall -Wextra -Wshadow.
 #
 # Between lint and the sweeps, a trace-smoke step runs a tiny table2 bench
 # with telemetry on and validates the emitted artifacts: the trace file must
@@ -99,6 +102,11 @@ for sweep in "${sweeps[@]}"; do
   ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
   echo "----- ${san}: batched-prediction equivalence + determinism -----"
   ctest --test-dir "$build" --output-on-failure -R 'batch_predict|determinism'
+  if [ "$san" = "address,undefined" ]; then
+    echo "----- ${san}: full suite under LNCL_GEMM_KERNEL=scalar -----"
+    LNCL_GEMM_KERNEL=scalar ctest --test-dir "$build" \
+      --output-on-failure -j "$(nproc)"
+  fi
 done
 
 echo "All check sweeps passed."

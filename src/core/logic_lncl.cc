@@ -403,7 +403,14 @@ util::Matrix LogicLncl::PredictTeacher(const data::Instance& x) const {
 
 std::vector<util::Matrix> LogicLncl::PredictStudentBatch(
     const data::Dataset& dataset) const {
-  return model_->PredictBatch(dataset);
+  // quantized_predict applies only to these batched serving entries — the
+  // E-step and training always see the fp32 model. The toggle requantizes
+  // eagerly (once per call, single-threaded here) and is reset before
+  // returning so later Fit/Predict calls are untouched.
+  if (config_.quantized_predict) model_->SetQuantizedPredict(true);
+  std::vector<util::Matrix> probs = model_->PredictBatch(dataset);
+  if (config_.quantized_predict) model_->SetQuantizedPredict(false);
+  return probs;
 }
 
 std::vector<util::Matrix> LogicLncl::PredictTeacherBatch(
@@ -412,7 +419,9 @@ std::vector<util::Matrix> LogicLncl::PredictTeacherBatch(
   xs.reserve(dataset.instances.size());
   for (const data::Instance& x : dataset.instances) xs.push_back(&x);
   std::vector<util::Matrix> probs;
+  if (config_.quantized_predict) model_->SetQuantizedPredict(true);
   model_->PredictBatch(xs, &probs);
+  if (config_.quantized_predict) model_->SetQuantizedPredict(false);
   if (projector_ != nullptr) projector_->ProjectBatch(xs, &probs, config_.C);
   return probs;
 }

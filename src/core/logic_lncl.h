@@ -56,6 +56,12 @@ struct LogicLnclConfig {
   // this is purely a performance switch; false keeps the PR-1-era
   // per-instance pipeline (the bench baseline).
   bool batch_predict = true;
+  // Serve PredictStudentBatch / PredictTeacherBatch from post-training int8
+  // weights (per-row symmetric quantization, fp32 accumulate; see
+  // nn/quantize.h and DESIGN.md §9). Inference-only: training, the E-step,
+  // and the per-instance Predict entries always run fp32. Off by default;
+  // the bench accuracy gate records the int8-vs-fp32 argmax agreement.
+  bool quantized_predict = false;
   // Optional telemetry sink (src/obs/run_log.h): receives one EpochRecord
   // per epoch (loss, dev score, k(t), KL(q_a || q_b), rule satisfaction,
   // confusion diagnostics, phase seconds) and a FitSummary when Fit returns.
@@ -163,6 +169,11 @@ class LogicLncl {
 
   models::Model* model() { return model_.get(); }
   const models::Model* model() const { return model_.get(); }
+
+  // Serving-time switch for config.quantized_predict (see the config field):
+  // affects only the batched Predict*Batch entries. The bench int8 gate uses
+  // this to score the same fitted model both ways.
+  void SetQuantizedPredict(bool on) { config_.quantized_predict = on; }
 
  private:
   LogicLnclResult FitInternal(const data::Dataset& train,

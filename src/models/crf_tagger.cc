@@ -55,8 +55,7 @@ void CrfTagger::UnaryForward(const data::Instance& x, bool train,
                              util::Rng* rng, util::Matrix* unary) const {
   if (train) {
     embeddings_->Lookup(x.tokens, &cache_.embedded);
-    conv_.Forward(cache_.embedded, &cache_.conv_relu);
-    nn::ReluForward(&cache_.conv_relu);
+    conv_.Forward(cache_.embedded, &cache_.conv_relu, util::Act::kRelu);
     cache_.conv_dropped = cache_.conv_relu;
     nn::DropoutForward(config_.dropout, rng, &cache_.conv_dropped,
                        &cache_.dropout_mask);
@@ -65,8 +64,7 @@ void CrfTagger::UnaryForward(const data::Instance& x, bool train,
   } else {
     util::Matrix embedded, conv_out, hidden;
     embeddings_->Lookup(x.tokens, &embedded);
-    conv_.Forward(embedded, &conv_out);
-    nn::ReluForward(&conv_out);
+    conv_.Forward(embedded, &conv_out, util::Act::kRelu);
     nn::Gru::Cache gru_cache;
     gru_.Forward(conv_out, &gru_cache, &hidden);
     fc_.ForwardRows(hidden, unary);

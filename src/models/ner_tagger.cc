@@ -39,8 +39,7 @@ void NerTagger::RecurrentForward(const util::Matrix& input,
 util::Matrix NerTagger::Predict(const data::Instance& x) const {
   util::Matrix embedded, conv_out, hidden, logits, probs;
   embeddings_->Lookup(x.tokens, &embedded);
-  conv_.Forward(embedded, &conv_out);
-  nn::ReluForward(&conv_out);
+  conv_.Forward(embedded, &conv_out, util::Act::kRelu);
   nn::Gru::Cache gru_cache;
   nn::Lstm::Cache lstm_cache;
   RecurrentForward(conv_out, &gru_cache, &lstm_cache, &hidden);
@@ -76,8 +75,7 @@ void NerTagger::PredictBatch(const std::vector<const data::Instance*>& xs,
       tokens.insert(tokens.end(), xs[m]->tokens.begin(), xs[m]->tokens.end());
     }
     embeddings_->Lookup(tokens, &packed);
-    conv_.ForwardPacked(packed, batch, t, &conv_out);
-    nn::ReluForward(&conv_out);
+    conv_.ForwardPacked(packed, batch, t, &conv_out, util::Act::kRelu);
     if (gru_ != nullptr) {
       gru_->ForwardPacked(conv_out, batch, t, &hidden);
     } else {
@@ -94,11 +92,15 @@ void NerTagger::PredictBatch(const std::vector<const data::Instance*>& xs,
   }
 }
 
+void NerTagger::SetQuantizedPredict(bool on) {
+  conv_.SetQuantized(on);
+  fc_.SetQuantized(on);
+}
+
 const util::Matrix& NerTagger::ForwardTrain(const data::Instance& x,
                                             util::Rng* rng) {
   embeddings_->Lookup(x.tokens, &cache_.embedded);
-  conv_.Forward(cache_.embedded, &cache_.conv_relu);
-  nn::ReluForward(&cache_.conv_relu);
+  conv_.Forward(cache_.embedded, &cache_.conv_relu, util::Act::kRelu);
   cache_.conv_dropped = cache_.conv_relu;
   nn::DropoutForward(config_.dropout, rng, &cache_.conv_dropped,
                      &cache_.dropout_mask);

@@ -50,6 +50,10 @@ class NerTagger : public Model {
   double BackwardSoftTarget(const util::Matrix& q, float w) override;
   void BackwardProbGrad(const util::Matrix& grad_probs, float w) override;
   std::vector<nn::Parameter*> Params() override;
+  // Int8 serving: convolution + per-token classifier head. The recurrent
+  // cell stays fp32 — quantization error would compound through the
+  // sequential state, unlike the feed-forward layers (DESIGN.md §9).
+  void SetQuantizedPredict(bool on) override;
 
   static ModelFactory Factory(const NerTaggerConfig& config,
                               data::EmbeddingPtr embeddings);

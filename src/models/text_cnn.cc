@@ -48,8 +48,7 @@ void TextCnn::FeatureForward(const data::Instance& x, util::Vector* feat,
     util::Matrix local_post;
     util::Matrix* post =
         conv_post != nullptr ? &(*conv_post)[wi] : &local_post;
-    convs_[wi]->Forward(*emb, post);
-    nn::ReluForward(post);
+    convs_[wi]->Forward(*emb, post, util::Act::kRelu);
     util::Vector pooled;
     std::vector<int> local_arg;
     std::vector<int>* arg = argmax != nullptr ? &(*argmax)[wi] : &local_arg;
@@ -99,8 +98,8 @@ void TextCnn::PredictBatch(const std::vector<const data::Instance*>& xs,
       embeddings_->Lookup(tokens, &packed);
     }
     for (size_t wi = 0; wi < convs_.size(); ++wi) {
-      convs_[wi]->ForwardPacked(packed, batch, t, &conv_out);
-      nn::ReluForward(&conv_out);
+      convs_[wi]->ForwardPacked(packed, batch, t, &conv_out,
+                                util::Act::kRelu);
       const int out_rows = convs_[wi]->OutRows(t);
       for (int b = 0; b < batch; ++b) {
         nn::MaxOverTimeRange(
@@ -191,6 +190,13 @@ void TextCnn::BackwardProbGrad(const util::Matrix& grad_probs, float w) {
   util::Vector grad_logits;
   nn::SoftmaxJacobianVecProduct(p, gp, w, &grad_logits);
   BackwardFromLogits(grad_logits);
+}
+
+void TextCnn::SetQuantizedPredict(bool on) {
+  // Embeddings stay fp32 (a gather, not a GEMM); convolutions and the
+  // classifier head take the int8 path.
+  for (auto& conv : convs_) conv->SetQuantized(on);
+  fc_.SetQuantized(on);
 }
 
 std::vector<nn::Parameter*> TextCnn::Params() {

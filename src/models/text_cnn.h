@@ -47,6 +47,9 @@ class TextCnn : public Model {
   double BackwardSoftTarget(const util::Matrix& q, float w) override;
   void BackwardProbGrad(const util::Matrix& grad_probs, float w) override;
   std::vector<nn::Parameter*> Params() override;
+  // Int8 serving: convolutions + classifier head (embeddings are a gather
+  // and stay fp32).
+  void SetQuantizedPredict(bool on) override;
 
   // Factory matching models::ModelFactory.
   static ModelFactory Factory(const TextCnnConfig& config,

@@ -1,9 +1,10 @@
 #include "nn/conv1d.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
-#include "util/workspace.h"
+#include "util/gemm_kernel.h"
 
 namespace lncl::nn {
 
@@ -22,37 +23,69 @@ int Conv1d::OutRows(int t) const {
   return std::max(1, t - window_ + 1);
 }
 
+void Conv1d::SetQuantized(bool on) {
+  quantized_ = on;
+  if (on) {
+    QuantizeRows(w_.value, &qw_);
+  } else {
+    qw_ = RowQuantized();
+  }
+}
+
 namespace {
 
 // Backward scratch for the dense grad_x path. thread_local (rather than a
 // mutable member) keeps the layer safe under the parallel E-step.
 thread_local util::Matrix tls_grad_patches;
 
+// Boundary-row epilogue, mirroring the kernel's fused epilogue formula
+// (alpha = 1, beta = 0 case): add bias, then the activation, in one pass.
+inline void ApplyBiasAct(const float* bias, util::Act act, int f, float* yr) {
+  for (int j = 0; j < f; ++j) {
+    float v = yr[j] + bias[j];
+    if (act == util::Act::kRelu) {
+      v = v > 0.0f ? v : 0.0f;
+    } else if (act == util::Act::kTanh) {
+      v = std::tanh(v);
+    }
+    yr[j] = v;
+  }
+}
+
+// Int8 variant: fold the per-filter dequantization scale in first.
+inline void ApplyScaleBiasAct(const float* scale, const float* bias,
+                              util::Act act, int f, float* yr) {
+  for (int j = 0; j < f; ++j) {
+    float v = yr[j] * scale[j] + bias[j];
+    if (act == util::Act::kRelu) {
+      v = v > 0.0f ? v : 0.0f;
+    } else if (act == util::Act::kTanh) {
+      v = std::tanh(v);
+    }
+    yr[j] = v;
+  }
+}
+
 }  // namespace
 
 // The sliding windows of a 1-D convolution over a row-major T x D input are
 // already an (out_rows x window*D) operand with leading dimension D — the
 // flattened window at output row o starts at x.Row(WindowStart(o)). Both
-// passes below exploit that through GemmRaw instead of materializing im2row
-// patch copies. Only output rows whose window overlaps the zero padding
-// (at most window-1 of them, kSame borders or a kValid input shorter than
-// the window) need scalar handling, over the clipped overlap
-// [lo, hi) x in_dim with the matching offset into the filter row.
+// passes below exploit that through the microkernel layer instead of
+// materializing im2row patch copies. Only output rows whose window overlaps
+// the zero padding (at most window-1 of them, kSame borders or a kValid
+// input shorter than the window) need scalar handling, over the clipped
+// overlap [lo, hi) x in_dim with the matching offset into the filter row.
 //
-// The interior GEMM runs in the NN form against a transposed copy of the
-// filter bank (window*D x F, built per call in workspace scratch): its inner
-// loop updates F independent accumulators with stride-1 loads, which
-// vectorizes, where the NT form's per-output dot products cannot be
-// vectorized without reordering the sum. Forward and ForwardPacked share the
-// transpose helper and the GEMM shape, so a packed instance block stays
-// byte-for-byte equal to Forward on the instance alone; ForwardPacked
-// amortizes the one transpose over the whole batch.
+// The interior GEMM runs in the NN form against the k-major filter panel
+// (window*D x F) served by the version-keyed pack cache: the panel is
+// repacked once per optimizer step, not per call, and the fused epilogue
+// writes act(acc + bias) in the same pass over the output. Forward and
+// ForwardPacked share the panel and the GEMM shape, so a packed instance
+// block stays byte-for-byte equal to Forward on the instance alone.
 
-void Conv1d::TransposeFilters(util::Matrix* wt) const {
-  util::TransposeInto(w_.value, wt);
-}
-
-void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
+void Conv1d::Forward(const util::Matrix& x, util::Matrix* y,
+                     util::Act act) const {
   LNCL_DCHECK(x.cols() == in_dim_);
   const int t = x.rows();
   const int out_rows = OutRows(t);
@@ -60,32 +93,43 @@ void Conv1d::Forward(const util::Matrix& x, util::Matrix* y) const {
   const int k_dim = window_ * in_dim_;
   y->ResizeNoZero(out_rows, f);
   const float* bias = b_.value.Row(0);
-  for (int o = 0; o < out_rows; ++o) {
-    std::copy(bias, bias + f, y->Row(o));
-  }
 
-  // Interior rows (window fully inside x): one strided GEMM, zero copies.
   const int interior = t - window_ + 1;
   const int ib = padding_ == Padding::kSame ? (window_ - 1) / 2 : 0;
   const int ie = ib + std::max(0, interior);
-  util::WorkspaceScope scope;
-  util::Matrix& wt = scope.NewMatrix();
-  TransposeFilters(&wt);
-  if (interior > 0) {
-    util::GemmRaw(interior, f, k_dim, 1.0f, x.data(), in_dim_,
-                  util::Trans::kNo, wt.data(), f, util::Trans::kNo, 1.0f,
-                  y->Row(ib), f);
+
+  if (quantized_) {
+    LNCL_DCHECK(qw_.Matches(w_.value));
+    if (interior > 0) {
+      util::gemm::GemmInt8(interior, f, k_dim, x.data(), in_dim_,
+                           qw_.q.data(), qw_.scale.data(), y->Row(ib), f,
+                           bias, act);
+    }
+    for (int o = 0; o < out_rows; ++o) {
+      if (o >= ib && o < ie) continue;
+      float* yr = y->Row(o);
+      QuantizedBoundaryRow(x.data(), t, o, yr);
+      ApplyScaleBiasAct(qw_.scale.data(), bias, act, f, yr);
+    }
+    return;
   }
 
-  for (int o = 0; o < std::min(ib, out_rows); ++o) {
-    AccumulateBoundaryRow(wt, x.data(), t, o, y->Row(o));
+  int ldw = 0;
+  const float* wt = util::gemm::PackedOpB(w_.value, util::Trans::kYes, &ldw);
+  if (interior > 0) {
+    util::gemm::GemmEx(interior, f, k_dim, 1.0f, x.data(), in_dim_,
+                       util::Trans::kNo, wt, ldw, util::Trans::kNo, 0.0f,
+                       y->Row(ib), f, bias, act);
   }
-  for (int o = ie; o < out_rows; ++o) {
-    AccumulateBoundaryRow(wt, x.data(), t, o, y->Row(o));
+  for (int o = 0; o < out_rows; ++o) {
+    if (o >= ib && o < ie) continue;
+    float* yr = y->Row(o);
+    AccumulateBoundaryRow(wt, x.data(), t, o, yr);
+    ApplyBiasAct(bias, act, f, yr);
   }
 }
 
-void Conv1d::AccumulateBoundaryRow(const util::Matrix& wt, const float* x_base,
+void Conv1d::AccumulateBoundaryRow(const float* wt, const float* x_base,
                                    int t, int o, float* yr) const {
   const int start = WindowStart(o);
   const int lo = std::max(0, start);
@@ -94,18 +138,39 @@ void Conv1d::AccumulateBoundaryRow(const util::Matrix& wt, const float* x_base,
   const int len = (hi - lo) * in_dim_;
   const float* xr = x_base + static_cast<size_t>(lo) * in_dim_;
   const int f = filters();
-  // m = 1 slice of the interior NN GEMM over the clipped window: yr already
-  // holds the bias, products accumulate in ascending-k order with the inner
-  // loop running over the F independent filter columns (vectorizable).
+  std::fill(yr, yr + f, 0.0f);
+  // m = 1 slice of the interior NN GEMM over the clipped window: products
+  // accumulate with std::fma in ascending-k order (the kernel contract) with
+  // the inner loop running over the F independent filter columns.
   for (int k = 0; k < len; ++k) {
     const float xv = xr[k];
-    const float* __restrict wr = wt.Row(off + k);
-    for (int j = 0; j < f; ++j) yr[j] += xv * wr[j];
+    const float* __restrict wr = wt + static_cast<size_t>(off + k) * f;
+    for (int j = 0; j < f; ++j) yr[j] = std::fma(xv, wr[j], yr[j]);
+  }
+}
+
+void Conv1d::QuantizedBoundaryRow(const float* x_base, int t, int o,
+                                  float* yr) const {
+  const int start = WindowStart(o);
+  const int lo = std::max(0, start);
+  const int hi = std::min(t, start + window_);
+  const int off = (lo - start) * in_dim_;
+  const int len = (hi - lo) * in_dim_;
+  const float* xr = x_base + static_cast<size_t>(lo) * in_dim_;
+  const int f = filters();
+  std::fill(yr, yr + f, 0.0f);
+  for (int k = 0; k < len; ++k) {
+    const float xv = xr[k];
+    const int8_t* __restrict qr =
+        qw_.q.data() + static_cast<size_t>(off + k) * f;
+    for (int j = 0; j < f; ++j) {
+      yr[j] = std::fma(xv, static_cast<float>(qr[j]), yr[j]);
+    }
   }
 }
 
 void Conv1d::ForwardPacked(const util::Matrix& x_packed, int batch, int t,
-                           util::Matrix* y_packed) const {
+                           util::Matrix* y_packed, util::Act act) const {
   LNCL_DCHECK(x_packed.rows() == batch * t);
   LNCL_DCHECK(t == 0 || x_packed.cols() == in_dim_);
   const int out_rows = OutRows(t);
@@ -113,42 +178,54 @@ void Conv1d::ForwardPacked(const util::Matrix& x_packed, int batch, int t,
   const int k_dim = window_ * in_dim_;
   y_packed->ResizeNoZero(batch * out_rows, f);
   const float* bias = b_.value.Row(0);
-  for (int o = 0; o < batch * out_rows; ++o) {
-    std::copy(bias, bias + f, y_packed->Row(o));
-  }
 
   const int interior = t - window_ + 1;
   const int ib = padding_ == Padding::kSame ? (window_ - 1) / 2 : 0;
   const int ie = ib + std::max(0, interior);
-  util::WorkspaceScope scope;
-  util::Matrix& wt = scope.NewMatrix();
-  TransposeFilters(&wt);
+
+  // One interior GEMM per instance, written straight into its y_packed
+  // block — the exact n/k/lda/kernel of Forward's interior GEMM, so each
+  // instance's output is bit-identical. A single GEMM over the whole packed
+  // buffer would also cover the window-1 windows straddling each instance
+  // boundary; at these sequence lengths that is 20-40% wasted rows plus a
+  // staging copy, measurably slower than skipping them.
+  const float* wt = nullptr;
+  int ldw = 0;
+  if (quantized_) {
+    LNCL_DCHECK(qw_.Matches(w_.value));
+  } else {
+    wt = util::gemm::PackedOpB(w_.value, util::Trans::kYes, &ldw);
+  }
   if (interior > 0) {
-    // One interior GEMM per instance, written straight into its y_packed
-    // block — the exact n/k/lda/kernel of Forward's interior GEMM, so each
-    // instance's output is bit-identical; the filter transpose is done once
-    // for the whole batch. A single GEMM over the whole packed buffer would
-    // also cover the window-1 windows straddling each instance boundary; at
-    // these sequence lengths that is 20-40% wasted rows plus a staging
-    // copy, measurably slower than skipping them.
     for (int b = 0; b < batch; ++b) {
-      util::GemmRaw(interior, f, k_dim, 1.0f,
-                    x_packed.data() + static_cast<size_t>(b) * t * in_dim_,
-                    in_dim_, util::Trans::kNo, wt.data(), f, util::Trans::kNo,
-                    1.0f, y_packed->Row(b * out_rows + ib), f);
+      const float* xb =
+          x_packed.data() + static_cast<size_t>(b) * t * in_dim_;
+      float* yb = y_packed->Row(b * out_rows + ib);
+      if (quantized_) {
+        util::gemm::GemmInt8(interior, f, k_dim, xb, in_dim_, qw_.q.data(),
+                             qw_.scale.data(), yb, f, bias, act);
+      } else {
+        util::gemm::GemmEx(interior, f, k_dim, 1.0f, xb, in_dim_,
+                           util::Trans::kNo, wt, ldw, util::Trans::kNo, 0.0f,
+                           yb, f, bias, act);
+      }
     }
   }
 
   for (int b = 0; b < batch; ++b) {
-    const float* x_base = x_packed.data() + static_cast<size_t>(b) * t * in_dim_;
+    const float* x_base =
+        x_packed.data() + static_cast<size_t>(b) * t * in_dim_;
     float* y_base = y_packed->Row(b * out_rows);
-    for (int o = 0; o < std::min(ib, out_rows); ++o) {
-      AccumulateBoundaryRow(wt, x_base, t, o,
-                            y_base + static_cast<size_t>(o) * f);
-    }
-    for (int o = ie; o < out_rows; ++o) {
-      AccumulateBoundaryRow(wt, x_base, t, o,
-                            y_base + static_cast<size_t>(o) * f);
+    for (int o = 0; o < out_rows; ++o) {
+      if (o >= ib && o < ie) continue;
+      float* yr = y_base + static_cast<size_t>(o) * f;
+      if (quantized_) {
+        QuantizedBoundaryRow(x_base, t, o, yr);
+        ApplyScaleBiasAct(qw_.scale.data(), bias, act, f, yr);
+      } else {
+        AccumulateBoundaryRow(wt, x_base, t, o, yr);
+        ApplyBiasAct(bias, act, f, yr);
+      }
     }
   }
 }

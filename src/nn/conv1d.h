@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/parameter.h"
+#include "nn/quantize.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 
@@ -19,8 +20,11 @@ namespace lncl::nn {
 //  * kSame:  output is T x F with zero padding on both sides — the
 //    Rodrigues & Pereira (2018) NER feature extractor (window 5).
 //
-// Forward emits pre-activations; apply ReluForward separately so backward can
-// use the retained post-activation mask.
+// Forward takes the activation to fuse (kNone for pre-activations, kRelu for
+// the conv+ReLU stacks in both models): bias and activation apply in the
+// GEMM epilogue's single pass over the output instead of a separate sweep.
+// Backward still expects the caller to retain the post-activation output
+// (ReluBackward masks on it, exactly as before).
 class Conv1d {
  public:
   enum class Padding { kValid, kSame };
@@ -31,26 +35,27 @@ class Conv1d {
   Conv1d(const Conv1d&) = delete;
   Conv1d& operator=(const Conv1d&) = delete;
 
-  // x: T x in_dim. y: rows depend on padding (see above), cols = filters.
-  // For kValid inputs shorter than `window`, the input is implicitly
-  // zero-padded at the end to `window` rows (output has exactly one row).
-  // Implemented as a strided GEMM directly over x's sliding windows (im2row
-  // without the copy), so convolutions share the blocked matrix kernel with
-  // Linear and the recurrent gate projections; safe to call concurrently
-  // from multiple threads (scratch buffers are thread-local).
-  void Forward(const util::Matrix& x, util::Matrix* y) const;
+  // x: T x in_dim. y: rows depend on padding (see above), cols = filters,
+  // y = act(conv(x) + bias). For kValid inputs shorter than `window`, the
+  // input is implicitly zero-padded at the end to `window` rows (output has
+  // exactly one row). Implemented as a strided GEMM directly over x's
+  // sliding windows (im2row without the copy), so convolutions share the
+  // blocked microkernels with Linear and the recurrent gate projections;
+  // safe to call concurrently from multiple threads (the filter panel comes
+  // from the per-thread pack cache).
+  void Forward(const util::Matrix& x, util::Matrix* y,
+               util::Act act = util::Act::kNone) const;
 
   // Batched forward over `batch` equal-length sequences packed row-major into
   // x_packed ((batch * t) x in_dim; instance b occupies rows [b*t, (b+1)*t)).
   // y_packed gets the same instance-major layout, (batch * OutRows(t)) x
   // filters. Each instance's block is byte-for-byte what Forward produces on
-  // its slice: all interior windows of the packed buffer go through one
-  // GemmRaw of the exact same shape (n, k, lda) as Forward's — the windows
-  // that straddle an instance boundary are computed into workspace scratch
-  // and discarded — and boundary rows reuse Forward's scalar clipped-window
-  // path. Scratch lives in the per-thread util::Workspace arena.
+  // its slice: all interior windows go through a GEMM of the exact same
+  // shape (n, k, lda) as Forward's, and boundary rows reuse Forward's scalar
+  // clipped-window path.
   void ForwardPacked(const util::Matrix& x_packed, int batch, int t,
-                     util::Matrix* y_packed) const;
+                     util::Matrix* y_packed,
+                     util::Act act = util::Act::kNone) const;
 
   // Accumulates parameter grads; writes dL/dx (same shape as x) when grad_x
   // is non-null.
@@ -67,6 +72,12 @@ class Conv1d {
   // Number of output rows for a T-row input.
   int OutRows(int t) const;
 
+  // Toggles the int8 serving path for Forward/ForwardPacked (eager
+  // quantization at the toggle point; see Linear::SetQuantized). Backward
+  // always reads the fp32 weights.
+  void SetQuantized(bool on);
+  bool quantized() const { return quantized_; }
+
  private:
   // Leftmost input row index covered by output row `o` (may be negative for
   // kSame padding).
@@ -74,25 +85,27 @@ class Conv1d {
     return padding_ == Padding::kSame ? o - (window_ - 1) / 2 : o;
   }
 
-  // Adds output row `o` of a t-row input starting at `x_base` into `yr`
-  // (which already holds the bias), over the clipped window overlap, as an
-  // m = 1 slice of the interior NN GEMM against the transposed filters `wt`.
-  // Shared by Forward and ForwardPacked so both compute boundary rows with
-  // the identical accumulation order.
-  void AccumulateBoundaryRow(const util::Matrix& wt, const float* x_base,
-                             int t, int o, float* yr) const;
+  // Computes the raw accumulator of output row `o` of a t-row input starting
+  // at `x_base` into `yr` (zero-initialized here), over the clipped window
+  // overlap, as an m = 1 slice of the interior NN GEMM against the k-major
+  // filter panel `wt` (leading dimension = filters). The caller applies the
+  // bias/activation epilogue afterwards. Shared by Forward and ForwardPacked
+  // so both compute boundary rows in the identical accumulation order.
+  void AccumulateBoundaryRow(const float* wt, const float* x_base, int t,
+                             int o, float* yr) const;
 
-  // Writes the filter bank transposed to (window * in_dim) x filters, the NN
-  // GEMM operand of the interior passes. Shared by Forward and ForwardPacked
-  // so both run the interior windows through the identical kernel.
-  void TransposeFilters(util::Matrix* wt) const;
+  // Int8 twin of AccumulateBoundaryRow over the quantized panel; leaves the
+  // un-scaled fp32 accumulator in yr.
+  void QuantizedBoundaryRow(const float* x_base, int t, int o,
+                            float* yr) const;
 
   int window_;
   int in_dim_;
   Padding padding_;
   Parameter w_;  // filters x (window * in_dim)
   Parameter b_;  // 1 x filters
+  bool quantized_ = false;
+  RowQuantized qw_;
 };
 
 }  // namespace lncl::nn
-

@@ -18,13 +18,17 @@ GradCheckResult CheckGradients(const std::function<double()>& loss_fn,
     const int samples = std::min(samples_per_param, n);
     std::vector<int> coords = rng->SampleWithoutReplacement(n, samples);
     for (int idx : coords) {
-      float* v = p->value.data() + idx;
-      const float original = *v;
-      *v = original + static_cast<float>(eps);
+      // Each write re-fetches the mutable pointer: Matrix::data() bumps the
+      // version ticket, which the GEMM pack cache keys on. Writing through a
+      // pointer captured before the previous loss_fn() call would leave a
+      // stale transposed-weight panel in the cache and zero the finite
+      // difference (see src/util/gemm_kernel.cc).
+      const float original = p->value.data()[idx];
+      p->value.data()[idx] = original + static_cast<float>(eps);
       const double loss_plus = loss_fn();
-      *v = original - static_cast<float>(eps);
+      p->value.data()[idx] = original - static_cast<float>(eps);
       const double loss_minus = loss_fn();
-      *v = original;
+      p->value.data()[idx] = original;
       const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
       const double analytic = p->grad.data()[idx];
       const double abs_err = std::fabs(analytic - numeric);

@@ -4,6 +4,7 @@
 
 #include "nn/activations.h"
 #include "util/check.h"
+#include "util/gemm_kernel.h"
 #include "util/workspace.h"
 
 namespace lncl::nn {
@@ -36,15 +37,18 @@ thread_local util::Matrix tls_dz, tls_dr, tls_dc, tls_hprev, tls_rh;
 
 }  // namespace
 
-// Both forward passes below run every gate product in the NN Gemm form
-// against per-call transposed weights (see TransposeInto): the inner loop
-// then updates h_dim independent accumulators with stride-1 loads, which
-// vectorizes, unlike the NT form's per-output dot products. GemmNN computes
-// each output row independently of the total row count, so row b of a
-// batched recurrent product in ForwardPacked is bit-identical to Forward's
-// one-row product on lane b — the packed path stays byte-for-byte equal to
-// the per-instance path. The transposes are h x h / h x in scratch copies,
-// amortized over the whole sequence (and in ForwardPacked over the batch).
+// Both forward passes below run every gate product in the NN kernel form
+// against k-major weight panels served by the per-thread pack cache (see
+// util::gemm::PackedOpB): the inner loop updates h_dim independent
+// accumulators with stride-1 loads, and the panels are repacked once per
+// optimizer step rather than once per call — previously each Forward paid
+// six TransposeInto copies, the dominant per-call cost of the batched
+// m-step. The kernels compute each output row independently of the total
+// row count, so row b of a batched recurrent product in ForwardPacked is
+// bit-identical to Forward's one-row product on lane b — the packed path
+// stays byte-for-byte equal to the per-instance path. The input-side gate
+// biases ride the GEMM epilogue, so the per-step gate loops add only the
+// recurrent term.
 
 void Gru::Forward(const util::Matrix& x, Cache* cache,
                   util::Matrix* h_out) const {
@@ -56,39 +60,30 @@ void Gru::Forward(const util::Matrix& x, Cache* cache,
   cache->r.ResizeNoZero(t_len, h_dim);
   cache->c.ResizeNoZero(t_len, h_dim);
 
-  util::WorkspaceScope scope;
-  util::Matrix& wzt = scope.NewMatrix();
-  util::Matrix& wrt = scope.NewMatrix();
-  util::Matrix& wct = scope.NewMatrix();
-  util::Matrix& uzt = scope.NewMatrix();
-  util::Matrix& urt = scope.NewMatrix();
-  util::Matrix& uct = scope.NewMatrix();
-  util::TransposeInto(wz_.value, &wzt);
-  util::TransposeInto(wr_.value, &wrt);
-  util::TransposeInto(wc_.value, &wct);
-  util::TransposeInto(uz_.value, &uzt);
-  util::TransposeInto(ur_.value, &urt);
-  util::TransposeInto(uc_.value, &uct);
+  // Input-side gate pre-activations (bias included) for every timestep in
+  // one GEMM each: GX_g = X * W_g^T + b_g. Only the h x h recurrent
+  // products remain sequential.
+  util::GemmEx(1.0f, x, util::Trans::kNo, wz_.value, util::Trans::kYes, 0.0f,
+               &tls_gxz, bz_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x, util::Trans::kNo, wr_.value, util::Trans::kYes, 0.0f,
+               &tls_gxr, br_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x, util::Trans::kNo, wc_.value, util::Trans::kYes, 0.0f,
+               &tls_gxc, bc_.value.Row(0), util::Act::kNone);
 
-  // Input-side gate pre-activations for every timestep in one GEMM each:
-  // GX_g = X * W_g^T. Only the h x h recurrent products remain sequential.
-  util::Gemm(1.0f, x, util::Trans::kNo, wzt, util::Trans::kNo, 0.0f,
-             &tls_gxz);
-  util::Gemm(1.0f, x, util::Trans::kNo, wrt, util::Trans::kNo, 0.0f,
-             &tls_gxr);
-  util::Gemm(1.0f, x, util::Trans::kNo, wct, util::Trans::kNo, 0.0f,
-             &tls_gxc);
+  // Recurrent weight panels, hoisted out of the step loop; the loop body
+  // only issues non-packing kernel calls, so the pointers stay valid.
+  int ldu = 0;
+  const float* uzp = util::gemm::PackedOpB(uz_.value, util::Trans::kYes, &ldu);
+  const float* urp = util::gemm::PackedOpB(ur_.value, util::Trans::kYes, &ldu);
+  const float* ucp = util::gemm::PackedOpB(uc_.value, util::Trans::kYes, &ldu);
 
   util::Vector h_prev(h_dim, 0.0f);
   util::Vector tmp_b(h_dim), rh(h_dim);
-  const float* bz = bz_.value.Row(0);
-  const float* br = br_.value.Row(0);
-  const float* bc = bc_.value.Row(0);
-  const auto recur = [h_dim](const util::Matrix& ut, const util::Vector& v,
+  const auto recur = [h_dim](const float* u, const util::Vector& v,
                              util::Vector* out) {
-    util::GemmRaw(1, h_dim, h_dim, 1.0f, v.data(), h_dim, util::Trans::kNo,
-                  ut.data(), h_dim, util::Trans::kNo, 0.0f, out->data(),
-                  h_dim);
+    util::gemm::GemmEx(1, h_dim, h_dim, 1.0f, v.data(), h_dim,
+                       util::Trans::kNo, u, h_dim, util::Trans::kNo, 0.0f,
+                       out->data(), h_dim, nullptr, util::Act::kNone);
   };
   for (int t = 0; t < t_len; ++t) {
     float* z = cache->z.Row(t);
@@ -98,22 +93,22 @@ void Gru::Forward(const util::Matrix& x, Cache* cache,
 
     // z_t
     const float* gxz = tls_gxz.Row(t);
-    recur(uzt, h_prev, &tmp_b);
+    recur(uzp, h_prev, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
-      z[k] = Sigmoid(gxz[k] + tmp_b[k] + bz[k]);
+      z[k] = Sigmoid(gxz[k] + tmp_b[k]);
     }
     // r_t
     const float* gxr = tls_gxr.Row(t);
-    recur(urt, h_prev, &tmp_b);
+    recur(urp, h_prev, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
-      r[k] = Sigmoid(gxr[k] + tmp_b[k] + br[k]);
+      r[k] = Sigmoid(gxr[k] + tmp_b[k]);
     }
     // c_t
     const float* gxc = tls_gxc.Row(t);
     for (int k = 0; k < h_dim; ++k) rh[k] = r[k] * h_prev[k];
-    recur(uct, rh, &tmp_b);
+    recur(ucp, rh, &tmp_b);
     for (int k = 0; k < h_dim; ++k) {
-      c[k] = std::tanh(gxc[k] + tmp_b[k] + bc[k]);
+      c[k] = std::tanh(gxc[k] + tmp_b[k]);
     }
     // h_t
     for (int k = 0; k < h_dim; ++k) {
@@ -133,30 +128,17 @@ void Gru::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
   if (batch == 0 || t_len == 0) return;
 
   util::WorkspaceScope scope;
-  util::Matrix& wzt = scope.NewMatrix();
-  util::Matrix& wrt = scope.NewMatrix();
-  util::Matrix& wct = scope.NewMatrix();
-  util::Matrix& uzt = scope.NewMatrix();
-  util::Matrix& urt = scope.NewMatrix();
-  util::Matrix& uct = scope.NewMatrix();
-  util::TransposeInto(wz_.value, &wzt);
-  util::TransposeInto(wr_.value, &wrt);
-  util::TransposeInto(wc_.value, &wct);
-  util::TransposeInto(uz_.value, &uzt);
-  util::TransposeInto(ur_.value, &urt);
-  util::TransposeInto(uc_.value, &uct);
-
-  // Input-side gate pre-activations for every (instance, step) row at once —
-  // the same per-row GEMMs as Forward, just over the packed rows.
+  // Input-side gate pre-activations (bias fused) for every (instance, step)
+  // row at once — the same per-row GEMMs as Forward, just over more rows.
   util::Matrix& gx_z = scope.NewMatrix();
   util::Matrix& gx_r = scope.NewMatrix();
   util::Matrix& gx_c = scope.NewMatrix();
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wzt, util::Trans::kNo, 0.0f,
-             &gx_z);
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wrt, util::Trans::kNo, 0.0f,
-             &gx_r);
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wct, util::Trans::kNo, 0.0f,
-             &gx_c);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wz_.value, util::Trans::kYes,
+               0.0f, &gx_z, bz_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wr_.value, util::Trans::kYes,
+               0.0f, &gx_r, br_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wc_.value, util::Trans::kYes,
+               0.0f, &gx_c, bc_.value.Row(0), util::Act::kNone);
 
   util::Matrix& h_prev = scope.NewMatrix();
   h_prev.Resize(batch, h_dim);  // zero initial state, as in Forward
@@ -165,31 +147,29 @@ void Gru::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
   util::Matrix& cs = scope.NewMatrix(batch, h_dim);
   util::Matrix& rh = scope.NewMatrix(batch, h_dim);
   util::Matrix& tmp = scope.NewMatrix();
-  const float* bz = bz_.value.Row(0);
-  const float* br = br_.value.Row(0);
-  const float* bc = bc_.value.Row(0);
   for (int t = 0; t < t_len; ++t) {
     // z_t for all lanes: row b of H_prev * Uz^T is exactly Forward's one-row
-    // recurrent product — the batch dimension only adds GEMM rows.
-    util::Gemm(1.0f, h_prev, util::Trans::kNo, uzt, util::Trans::kNo, 0.0f,
-               &tmp);
+    // recurrent product — the batch dimension only adds kernel rows, and the
+    // Uz panel comes from the same pack cache.
+    util::Gemm(1.0f, h_prev, util::Trans::kNo, uz_.value, util::Trans::kYes,
+               0.0f, &tmp);
     for (int b = 0; b < batch; ++b) {
       const float* gxz = gx_z.Row(b * t_len + t);
       const float* tmp_b = tmp.Row(b);
       float* z = zs.Row(b);
       for (int k = 0; k < h_dim; ++k) {
-        z[k] = Sigmoid(gxz[k] + tmp_b[k] + bz[k]);
+        z[k] = Sigmoid(gxz[k] + tmp_b[k]);
       }
     }
     // r_t
-    util::Gemm(1.0f, h_prev, util::Trans::kNo, urt, util::Trans::kNo, 0.0f,
-               &tmp);
+    util::Gemm(1.0f, h_prev, util::Trans::kNo, ur_.value, util::Trans::kYes,
+               0.0f, &tmp);
     for (int b = 0; b < batch; ++b) {
       const float* gxr = gx_r.Row(b * t_len + t);
       const float* tmp_b = tmp.Row(b);
       float* r = rs.Row(b);
       for (int k = 0; k < h_dim; ++k) {
-        r[k] = Sigmoid(gxr[k] + tmp_b[k] + br[k]);
+        r[k] = Sigmoid(gxr[k] + tmp_b[k]);
       }
     }
     // c_t
@@ -199,13 +179,14 @@ void Gru::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
       float* rhb = rh.Row(b);
       for (int k = 0; k < h_dim; ++k) rhb[k] = r[k] * hp[k];
     }
-    util::Gemm(1.0f, rh, util::Trans::kNo, uct, util::Trans::kNo, 0.0f, &tmp);
+    util::Gemm(1.0f, rh, util::Trans::kNo, uc_.value, util::Trans::kYes, 0.0f,
+               &tmp);
     for (int b = 0; b < batch; ++b) {
       const float* gxc = gx_c.Row(b * t_len + t);
       const float* tmp_b = tmp.Row(b);
       float* c = cs.Row(b);
       for (int k = 0; k < h_dim; ++k) {
-        c[k] = std::tanh(gxc[k] + tmp_b[k] + bc[k]);
+        c[k] = std::tanh(gxc[k] + tmp_b[k]);
       }
     }
     // h_t

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
-#include "util/check.h"
 
+#include "util/check.h"
+#include "util/gemm_kernel.h"
 
 namespace lncl::nn {
 
@@ -10,20 +11,44 @@ Linear::Linear(const std::string& name, int in_dim, int out_dim,
   GlorotInit(rng, &w_.value);
 }
 
+void Linear::SetQuantized(bool on) {
+  quantized_ = on;
+  if (on) {
+    QuantizeRows(w_.value, &qw_);
+  } else {
+    qw_ = RowQuantized();
+  }
+}
+
 void Linear::Forward(const util::Vector& x, util::Vector* y) const {
-  util::MatVec(w_.value, x, y);
-  const float* b = b_.value.Row(0);
-  for (int i = 0; i < out_dim(); ++i) (*y)[i] += b[i];
+  LNCL_DCHECK(static_cast<int>(x.size()) == in_dim());
+  y->resize(out_dim());
+  if (quantized_) {
+    LNCL_DCHECK(qw_.Matches(w_.value));
+    QuantizedGemm(qw_, 1, x.data(), in_dim(), y->data(), out_dim(),
+                  b_.value.Row(0), util::Act::kNone);
+    return;
+  }
+  // y^T = x^T W^T with the bias fused into the GEMM epilogue: one pass over
+  // the output instead of a GEMM plus a bias sweep.
+  int ldb = 0;
+  const float* wp = util::gemm::PackedOpB(w_.value, util::Trans::kYes, &ldb);
+  util::gemm::GemmEx(1, out_dim(), in_dim(), 1.0f, x.data(), in_dim(),
+                     util::Trans::kNo, wp, ldb, util::Trans::kNo, 0.0f,
+                     y->data(), out_dim(), b_.value.Row(0), util::Act::kNone);
 }
 
 void Linear::ForwardRows(const util::Matrix& x, util::Matrix* y) const {
   LNCL_DCHECK(x.cols() == in_dim());
-  util::MatMulTransB(x, w_.value, y);
-  const float* b = b_.value.Row(0);
-  for (int r = 0; r < y->rows(); ++r) {
-    float* row = y->Row(r);
-    for (int c = 0; c < y->cols(); ++c) row[c] += b[c];
+  if (quantized_) {
+    LNCL_DCHECK(qw_.Matches(w_.value));
+    y->ResizeNoZero(x.rows(), out_dim());
+    QuantizedGemm(qw_, x.rows(), x.data(), x.cols(), y->data(), y->cols(),
+                  b_.value.Row(0), util::Act::kNone);
+    return;
   }
+  util::GemmEx(1.0f, x, util::Trans::kNo, w_.value, util::Trans::kYes, 0.0f,
+               y, b_.value.Row(0), util::Act::kNone);
 }
 
 void Linear::Backward(const util::Vector& x, const util::Vector& grad_y,

@@ -4,6 +4,7 @@
 
 #include "nn/activations.h"
 #include "util/check.h"
+#include "util/gemm_kernel.h"
 #include "util/workspace.h"
 
 namespace lncl::nn {
@@ -54,46 +55,36 @@ void Lstm::Forward(const util::Matrix& x, Cache* cache,
   cache->o.ResizeNoZero(t_len, h_dim);
   cache->g.ResizeNoZero(t_len, h_dim);
 
-  // Every gate product runs in the NN Gemm form against per-call transposed
-  // weights; see gru.cc for the vectorization + bit-identity rationale.
-  util::WorkspaceScope scope;
-  util::Matrix& wit = scope.NewMatrix();
-  util::Matrix& wft = scope.NewMatrix();
-  util::Matrix& wot = scope.NewMatrix();
-  util::Matrix& wgt = scope.NewMatrix();
-  util::Matrix& uit = scope.NewMatrix();
-  util::Matrix& uft = scope.NewMatrix();
-  util::Matrix& uot = scope.NewMatrix();
-  util::Matrix& ugt = scope.NewMatrix();
-  util::TransposeInto(wi_.value, &wit);
-  util::TransposeInto(wf_.value, &wft);
-  util::TransposeInto(wo_.value, &wot);
-  util::TransposeInto(wg_.value, &wgt);
-  util::TransposeInto(ui_.value, &uit);
-  util::TransposeInto(uf_.value, &uft);
-  util::TransposeInto(uo_.value, &uot);
-  util::TransposeInto(ug_.value, &ugt);
+  // Every gate product runs in the NN kernel form against k-major weight
+  // panels from the per-thread pack cache, with the input-side gate biases
+  // fused into the GEMM epilogue; see gru.cc for the vectorization,
+  // repack-once-per-step, and bit-identity rationale.
+  util::GemmEx(1.0f, x, util::Trans::kNo, wi_.value, util::Trans::kYes, 0.0f,
+               &tls_gxi, bi_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x, util::Trans::kNo, wf_.value, util::Trans::kYes, 0.0f,
+               &tls_gxf, bf_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x, util::Trans::kNo, wo_.value, util::Trans::kYes, 0.0f,
+               &tls_gxo, bo_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x, util::Trans::kNo, wg_.value, util::Trans::kYes, 0.0f,
+               &tls_gxg, bg_.value.Row(0), util::Act::kNone);
 
-  // Input-side pre-activations for all four gates, one GEMM per gate.
-  util::Gemm(1.0f, x, util::Trans::kNo, wit, util::Trans::kNo, 0.0f,
-             &tls_gxi);
-  util::Gemm(1.0f, x, util::Trans::kNo, wft, util::Trans::kNo, 0.0f,
-             &tls_gxf);
-  util::Gemm(1.0f, x, util::Trans::kNo, wot, util::Trans::kNo, 0.0f,
-             &tls_gxo);
-  util::Gemm(1.0f, x, util::Trans::kNo, wgt, util::Trans::kNo, 0.0f,
-             &tls_gxg);
+  // Recurrent panels hoisted out of the step loop (the loop issues only
+  // non-packing kernel calls, so the pointers stay valid).
+  int ldu = 0;
+  const float* uip = util::gemm::PackedOpB(ui_.value, util::Trans::kYes, &ldu);
+  const float* ufp = util::gemm::PackedOpB(uf_.value, util::Trans::kYes, &ldu);
+  const float* uop = util::gemm::PackedOpB(uo_.value, util::Trans::kYes, &ldu);
+  const float* ugp = util::gemm::PackedOpB(ug_.value, util::Trans::kYes, &ldu);
 
   util::Vector h_prev(h_dim, 0.0f), c_prev(h_dim, 0.0f);
   util::Vector b(h_dim);
-  auto gate = [&](const util::Matrix& ut, const Parameter& bias,
-                  const float* gx, float* out, bool tanh_act) {
-    util::GemmRaw(1, h_dim, h_dim, 1.0f, h_prev.data(), h_dim,
-                  util::Trans::kNo, ut.data(), h_dim, util::Trans::kNo, 0.0f,
-                  b.data(), h_dim);
-    const float* bv = bias.value.Row(0);
+  auto gate = [&](const float* u, const float* gx, float* out,
+                  bool tanh_act) {
+    util::gemm::GemmEx(1, h_dim, h_dim, 1.0f, h_prev.data(), h_dim,
+                       util::Trans::kNo, u, h_dim, util::Trans::kNo, 0.0f,
+                       b.data(), h_dim, nullptr, util::Act::kNone);
     for (int k = 0; k < h_dim; ++k) {
-      const float pre = gx[k] + b[k] + bv[k];
+      const float pre = gx[k] + b[k];
       out[k] = tanh_act ? std::tanh(pre) : Sigmoid(pre);
     }
   };
@@ -104,10 +95,10 @@ void Lstm::Forward(const util::Matrix& x, Cache* cache,
     float* g = cache->g.Row(t);
     float* c = cache->c.Row(t);
     float* h = cache->h.Row(t);
-    gate(uit, bi_, tls_gxi.Row(t), i, false);
-    gate(uft, bf_, tls_gxf.Row(t), f, false);
-    gate(uot, bo_, tls_gxo.Row(t), o, false);
-    gate(ugt, bg_, tls_gxg.Row(t), g, true);
+    gate(uip, tls_gxi.Row(t), i, false);
+    gate(ufp, tls_gxf.Row(t), f, false);
+    gate(uop, tls_gxo.Row(t), o, false);
+    gate(ugp, tls_gxg.Row(t), g, true);
     for (int k = 0; k < h_dim; ++k) {
       c[k] = f[k] * c_prev[k] + i[k] * g[k];
       h[k] = o[k] * std::tanh(c[k]);
@@ -127,35 +118,18 @@ void Lstm::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
   if (batch == 0 || t_len == 0) return;
 
   util::WorkspaceScope scope;
-  util::Matrix& wit = scope.NewMatrix();
-  util::Matrix& wft = scope.NewMatrix();
-  util::Matrix& wot = scope.NewMatrix();
-  util::Matrix& wgt = scope.NewMatrix();
-  util::Matrix& uit = scope.NewMatrix();
-  util::Matrix& uft = scope.NewMatrix();
-  util::Matrix& uot = scope.NewMatrix();
-  util::Matrix& ugt = scope.NewMatrix();
-  util::TransposeInto(wi_.value, &wit);
-  util::TransposeInto(wf_.value, &wft);
-  util::TransposeInto(wo_.value, &wot);
-  util::TransposeInto(wg_.value, &wgt);
-  util::TransposeInto(ui_.value, &uit);
-  util::TransposeInto(uf_.value, &uft);
-  util::TransposeInto(uo_.value, &uot);
-  util::TransposeInto(ug_.value, &ugt);
-
   util::Matrix& gx_i = scope.NewMatrix();
   util::Matrix& gx_f = scope.NewMatrix();
   util::Matrix& gx_o = scope.NewMatrix();
   util::Matrix& gx_g = scope.NewMatrix();
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wit, util::Trans::kNo, 0.0f,
-             &gx_i);
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wft, util::Trans::kNo, 0.0f,
-             &gx_f);
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wot, util::Trans::kNo, 0.0f,
-             &gx_o);
-  util::Gemm(1.0f, x_packed, util::Trans::kNo, wgt, util::Trans::kNo, 0.0f,
-             &gx_g);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wi_.value, util::Trans::kYes,
+               0.0f, &gx_i, bi_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wf_.value, util::Trans::kYes,
+               0.0f, &gx_f, bf_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wo_.value, util::Trans::kYes,
+               0.0f, &gx_o, bo_.value.Row(0), util::Act::kNone);
+  util::GemmEx(1.0f, x_packed, util::Trans::kNo, wg_.value, util::Trans::kYes,
+               0.0f, &gx_g, bg_.value.Row(0), util::Act::kNone);
 
   util::Matrix& h_prev = scope.NewMatrix();
   util::Matrix& c_prev = scope.NewMatrix();
@@ -166,29 +140,28 @@ void Lstm::ForwardPacked(const util::Matrix& x_packed, int batch, int t_len,
   util::Matrix& os = scope.NewMatrix(batch, h_dim);
   util::Matrix& gs = scope.NewMatrix(batch, h_dim);
   util::Matrix& tmp = scope.NewMatrix();
-  // Row b of H_prev * Uᵀ is exactly Forward's one-row recurrent product; the
-  // elementwise gate expression is Forward's, verbatim.
-  auto gate = [&](const util::Matrix& ut, const Parameter& bias,
-                  const util::Matrix& gx, util::Matrix* out, bool tanh_act,
-                  int t) {
-    util::Gemm(1.0f, h_prev, util::Trans::kNo, ut, util::Trans::kNo, 0.0f,
-               &tmp);
-    const float* bv = bias.value.Row(0);
+  // Row b of H_prev * Uᵀ is exactly Forward's one-row recurrent product
+  // (same pack-cache panel); the elementwise gate expression is Forward's,
+  // verbatim.
+  auto gate = [&](const Parameter& u, const util::Matrix& gx,
+                  util::Matrix* out, bool tanh_act, int t) {
+    util::Gemm(1.0f, h_prev, util::Trans::kNo, u.value, util::Trans::kYes,
+               0.0f, &tmp);
     for (int b = 0; b < batch; ++b) {
       const float* gxr = gx.Row(b * t_len + t);
       const float* tb = tmp.Row(b);
       float* o = out->Row(b);
       for (int k = 0; k < h_dim; ++k) {
-        const float pre = gxr[k] + tb[k] + bv[k];
+        const float pre = gxr[k] + tb[k];
         o[k] = tanh_act ? std::tanh(pre) : Sigmoid(pre);
       }
     }
   };
   for (int t = 0; t < t_len; ++t) {
-    gate(uit, bi_, gx_i, &is, false, t);
-    gate(uft, bf_, gx_f, &fs, false, t);
-    gate(uot, bo_, gx_o, &os, false, t);
-    gate(ugt, bg_, gx_g, &gs, true, t);
+    gate(ui_, gx_i, &is, false, t);
+    gate(uf_, gx_f, &fs, false, t);
+    gate(uo_, gx_o, &os, false, t);
+    gate(ug_, gx_g, &gs, true, t);
     for (int b = 0; b < batch; ++b) {
       const float* i = is.Row(b);
       const float* f = fs.Row(b);

@@ -1,0 +1,39 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/gemm_kernel.h"
+
+namespace lncl::nn {
+
+void QuantizeRows(const util::Matrix& w, RowQuantized* qw) {
+  const int out = w.rows();
+  const int in = w.cols();
+  qw->out = out;
+  qw->in = in;
+  qw->scale.assign(static_cast<size_t>(out), 1.0f);
+  qw->q.assign(static_cast<size_t>(out) * in, 0);
+  for (int j = 0; j < out; ++j) {
+    const float* row = w.Row(j);
+    float maxabs = 0.0f;
+    for (int k = 0; k < in; ++k) maxabs = std::max(maxabs, std::fabs(row[k]));
+    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    qw->scale[j] = scale;
+    const float inv = 1.0f / scale;
+    for (int k = 0; k < in; ++k) {
+      long v = std::lrintf(row[k] * inv);
+      v = std::clamp(v, long{-127}, long{127});
+      qw->q[static_cast<size_t>(k) * out + j] = static_cast<int8_t>(v);
+    }
+  }
+  qw->src_version = w.version();
+}
+
+void QuantizedGemm(const RowQuantized& qw, int m, const float* x, int lda,
+                   float* y, int ldy, const float* bias, util::Act act) {
+  util::gemm::GemmInt8(m, qw.out, qw.in, x, lda, qw.q.data(), qw.scale.data(),
+                       y, ldy, bias, act);
+}
+
+}  // namespace lncl::nn

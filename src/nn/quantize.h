@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace lncl::nn {
+
+// Post-training symmetric per-row int8 quantization of a weight matrix.
+//
+// For a (out x in) weight matrix W, row j gets scale[j] = maxabs(row j)/127
+// (1.0 for an all-zero row) and q = lrintf(W / scale) in [-127, 127]. The
+// quantized values are stored k-major — q[k * out + j] holds row j's k-th
+// entry — which is exactly the packed-op(B) layout the fp32 kernels consume,
+// so util::gemm::GemmInt8 streams the panel the same way and keeps the
+// one-accumulator / ascending-k contract (scalar == SIMD bitwise, rows
+// independent of the batch). Accumulation stays fp32 over the
+// exactly-representable int8 values; dequantization folds into the epilogue
+// as a per-output-column scale.
+//
+// This is an inference-only path: training, the E-step, and all gradients
+// stay fp32. src_version records Matrix::version() at quantization time so
+// layers can assert the quantization is current.
+struct RowQuantized {
+  std::vector<int8_t> q;     // k-major: q[k * out + j] ~ W(j, k) / scale[j]
+  std::vector<float> scale;  // out entries
+  int out = 0;
+  int in = 0;
+  uint64_t src_version = 0;
+
+  // True when this quantization reflects w's current contents.
+  bool Matches(const util::Matrix& w) const {
+    return out == w.rows() && in == w.cols() && src_version == w.version();
+  }
+};
+
+// (Re)quantizes w into *qw. Round-trip bound, asserted by
+// tests/gemm_kernel_test.cc: |W(j, k) - scale[j] * q| <= scale[j] / 2.
+void QuantizeRows(const util::Matrix& w, RowQuantized* qw);
+
+// y (m x out) = act(x (m x in) * dequant(W)^T + bias): the int8 serving
+// forward shared by Linear and Conv1d. Rows of x are lda floats apart
+// (pass x's column count for dense inputs); rows of y are ldy floats
+// apart. bias (length out) may be null.
+void QuantizedGemm(const RowQuantized& qw, int m, const float* x, int lda,
+                   float* y, int ldy, const float* bias, util::Act act);
+
+}  // namespace lncl::nn

@@ -1,19 +1,35 @@
 #include "util/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 
-#include "obs/metrics.h"
+#include "util/gemm_kernel.h"
 
 namespace lncl::util {
 
+uint64_t NextMatrixVersion() {
+  // Ticket block size: one shared fetch_add hands a thread 2^20 tickets.
+  constexpr uint64_t kBlock = uint64_t{1} << 20;
+  static std::atomic<uint64_t> g_next_block{1};
+  thread_local uint64_t next = 0;
+  thread_local uint64_t limit = 0;
+  if (next == limit) {
+    next = g_next_block.fetch_add(kBlock, std::memory_order_relaxed);
+    limit = next + kBlock;
+  }
+  return next++;
+}
+
 void Matrix::AddScaled(const Matrix& other, float alpha) {
   LNCL_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  BumpVersion();
   const float* src = other.data_.data();
   float* dst = data_.data();
   for (size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
 }
 
 void Matrix::Scale(float alpha) {
+  BumpVersion();
   for (float& v : data_) v *= alpha;
 }
 
@@ -23,182 +39,23 @@ double Matrix::SquaredNorm() const {
   return s;
 }
 
-namespace {
-
-// Column block width: one panel of 4 B-rows (4 * kNc floats = 2 KB) plus the
-// C row stays comfortably inside L1 while the k loop streams.
-constexpr int kNc = 128;
-
-inline void ScaleRow(float* c, int n, float beta) {
-  if (beta == 0.0f) {
-    std::fill(c, c + n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int j = 0; j < n; ++j) c[j] *= beta;
-  }
-}
-
-// C (m x n) = alpha * A (m x k) * B (k x n) + beta * C.
-void GemmNN(int m, int n, int kd, float alpha, const float* a, int lda,
-            const float* b, int ldb, float beta, float* c, int ldc) {
-  for (int jc = 0; jc < n; jc += kNc) {
-    const int nb = std::min(kNc, n - jc);
-    for (int i = 0; i < m; ++i) {
-      float* __restrict cr = c + static_cast<size_t>(i) * ldc + jc;
-      ScaleRow(cr, nb, beta);
-      const float* ar = a + static_cast<size_t>(i) * lda;
-      int k = 0;
-      for (; k + 4 <= kd; k += 4) {
-        const float a0 = alpha * ar[k];
-        const float a1 = alpha * ar[k + 1];
-        const float a2 = alpha * ar[k + 2];
-        const float a3 = alpha * ar[k + 3];
-        const float* __restrict b0 = b + static_cast<size_t>(k) * ldb + jc;
-        const float* __restrict b1 = b0 + ldb;
-        const float* __restrict b2 = b1 + ldb;
-        const float* __restrict b3 = b2 + ldb;
-        for (int j = 0; j < nb; ++j) {
-          cr[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-      }
-      for (; k < kd; ++k) {
-        const float ak = alpha * ar[k];
-        const float* __restrict br = b + static_cast<size_t>(k) * ldb + jc;
-        for (int j = 0; j < nb; ++j) cr[j] += ak * br[j];
-      }
-    }
-  }
-}
-
-// C (m x n) = alpha * A^T * B + beta * C, with A stored k x m.
-void GemmTN(int m, int n, int kd, float alpha, const float* a, int lda,
-            const float* b, int ldb, float beta, float* c, int ldc) {
-  for (int jc = 0; jc < n; jc += kNc) {
-    const int nb = std::min(kNc, n - jc);
-    for (int i = 0; i < m; ++i) {
-      ScaleRow(c + static_cast<size_t>(i) * ldc + jc, nb, beta);
-    }
-    int k = 0;
-    for (; k + 4 <= kd; k += 4) {
-      const float* a0r = a + static_cast<size_t>(k) * lda;
-      const float* a1r = a0r + lda;
-      const float* a2r = a1r + lda;
-      const float* a3r = a2r + lda;
-      const float* __restrict b0 = b + static_cast<size_t>(k) * ldb + jc;
-      const float* __restrict b1 = b0 + ldb;
-      const float* __restrict b2 = b1 + ldb;
-      const float* __restrict b3 = b2 + ldb;
-      for (int i = 0; i < m; ++i) {
-        const float a0 = alpha * a0r[i];
-        const float a1 = alpha * a1r[i];
-        const float a2 = alpha * a2r[i];
-        const float a3 = alpha * a3r[i];
-        float* __restrict cr = c + static_cast<size_t>(i) * ldc + jc;
-        for (int j = 0; j < nb; ++j) {
-          cr[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-      }
-    }
-    for (; k < kd; ++k) {
-      const float* akr = a + static_cast<size_t>(k) * lda;
-      const float* __restrict br = b + static_cast<size_t>(k) * ldb + jc;
-      for (int i = 0; i < m; ++i) {
-        const float ak = alpha * akr[i];
-        float* __restrict cr = c + static_cast<size_t>(i) * ldc + jc;
-        for (int j = 0; j < nb; ++j) cr[j] += ak * br[j];
-      }
-    }
-  }
-}
-
-// C (m x n) = alpha * A * B^T + beta * C, with B stored n x k: every entry
-// is a stride-1 dot product; four output columns share one load of A's row.
-void GemmNT(int m, int n, int kd, float alpha, const float* a, int lda,
-            const float* b, int ldb, float beta, float* c, int ldc) {
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict ar = a + static_cast<size_t>(i) * lda;
-    float* __restrict cr = c + static_cast<size_t>(i) * ldc;
-    int j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* __restrict b0 = b + static_cast<size_t>(j) * ldb;
-      const float* __restrict b1 = b0 + ldb;
-      const float* __restrict b2 = b1 + ldb;
-      const float* __restrict b3 = b2 + ldb;
-      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-      for (int k = 0; k < kd; ++k) {
-        const float ak = ar[k];
-        s0 += ak * b0[k];
-        s1 += ak * b1[k];
-        s2 += ak * b2[k];
-        s3 += ak * b3[k];
-      }
-      if (beta == 0.0f) {
-        cr[j] = alpha * s0;
-        cr[j + 1] = alpha * s1;
-        cr[j + 2] = alpha * s2;
-        cr[j + 3] = alpha * s3;
-      } else {
-        cr[j] = alpha * s0 + beta * cr[j];
-        cr[j + 1] = alpha * s1 + beta * cr[j + 1];
-        cr[j + 2] = alpha * s2 + beta * cr[j + 2];
-        cr[j + 3] = alpha * s3 + beta * cr[j + 3];
-      }
-    }
-    for (; j < n; ++j) {
-      const float* __restrict br = b + static_cast<size_t>(j) * ldb;
-      float s = 0.0f;
-      for (int k = 0; k < kd; ++k) s += ar[k] * br[k];
-      cr[j] = beta == 0.0f ? alpha * s : alpha * s + beta * cr[j];
-    }
-  }
-}
-
-// C (m x n) = alpha * A^T * B^T + beta * C (A: k x m, B: n x k). Not on any
-// hot path; kept simple.
-void GemmTT(int m, int n, int kd, float alpha, const float* a, int lda,
-            const float* b, int ldb, float beta, float* c, int ldc) {
-  for (int i = 0; i < m; ++i) {
-    float* cr = c + static_cast<size_t>(i) * ldc;
-    for (int j = 0; j < n; ++j) {
-      const float* br = b + static_cast<size_t>(j) * ldb;
-      float s = 0.0f;
-      for (int k = 0; k < kd; ++k) s += a[static_cast<size_t>(k) * lda + i] * br[k];
-      cr[j] = beta == 0.0f ? alpha * s : alpha * s + beta * cr[j];
-    }
-  }
-}
-
-}  // namespace
+// All four transpose variants run on the register-blocked microkernels in
+// util/gemm_kernel.cc (scalar/SIMD selected once at startup; bit-identical
+// either way). GemmRaw serves raw-pointer strided operands; the Matrix
+// wrappers below additionally route trans_b == kYes operands through the
+// version-keyed pack cache so weight matrices are transposed once per
+// optimizer step instead of once per call.
 
 void GemmRaw(int m, int n, int k, float alpha, const float* a, int lda,
              Trans trans_a, const float* b, int ldb, Trans trans_b, float beta,
              float* c, int ldc) {
-  if (obs::Metrics::enabled()) {
-    // Every dense product funnels through here (Gemm delegates), so these
-    // two counters are the system-wide GEMM call/FLOP ledger.
-    static obs::Counter* const calls = obs::Metrics::GetCounter("gemm.calls");
-    static obs::Counter* const flops = obs::Metrics::GetCounter("gemm.flops");
-    calls->Increment();
-    flops->Add(2ull * static_cast<uint64_t>(m) * static_cast<uint64_t>(n) *
-               static_cast<uint64_t>(k));
-  }
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    for (int i = 0; i < m; ++i) ScaleRow(c + static_cast<size_t>(i) * ldc, n, beta);
-    return;
-  }
-  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
-    GemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-  } else if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
-    GemmTN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-  } else if (trans_a == Trans::kNo && trans_b == Trans::kYes) {
-    GemmNT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-  } else {
-    GemmTT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-  }
+  gemm::GemmEx(m, n, k, alpha, a, lda, trans_a, b, ldb, trans_b, beta, c, ldc,
+               nullptr, Act::kNone);
 }
 
-void Gemm(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
-          Trans trans_b, float beta, Matrix* c) {
+void GemmEx(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
+            Trans trans_b, float beta, Matrix* c, const float* bias,
+            Act act) {
   const int m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const int ka = trans_a == Trans::kNo ? a.cols() : a.rows();
   const int kb = trans_b == Trans::kNo ? b.rows() : b.cols();
@@ -210,8 +67,15 @@ void Gemm(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
   } else {
     LNCL_AUDIT_SHAPE(*c, m, n);
   }
-  GemmRaw(m, n, ka, alpha, a.data(), a.cols(), trans_a, b.data(), b.cols(),
-          trans_b, beta, c->data(), c->cols());
+  int ldb = 0;
+  const float* bp = gemm::PackedOpB(b, trans_b, &ldb);
+  gemm::GemmEx(m, n, ka, alpha, a.data(), a.cols(), trans_a, bp, ldb,
+               Trans::kNo, beta, c->data(), c->cols(), bias, act);
+}
+
+void Gemm(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
+          Trans trans_b, float beta, Matrix* c) {
+  GemmEx(alpha, a, trans_a, b, trans_b, beta, c, nullptr, Act::kNone);
 }
 
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -233,9 +97,10 @@ void TransposeInto(const Matrix& src, Matrix* out) {
   const int rows = src.rows();
   const int cols = src.cols();
   out->ResizeNoZero(cols, rows);
+  float* dst = out->data();
   for (int i = 0; i < rows; ++i) {
     const float* sr = src.Row(i);
-    for (int j = 0; j < cols; ++j) (*out)(j, i) = sr[j];
+    for (int j = 0; j < cols; ++j) dst[static_cast<size_t>(j) * rows + i] = sr[j];
   }
 }
 
@@ -244,59 +109,22 @@ void MatVec(const Matrix& w, const Vector& x, Vector* y) {
   const int m = w.rows();
   const int n = w.cols();
   y->resize(m);
-  const float* __restrict xv = x.data();
-  int i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* __restrict r0 = w.Row(i);
-    const float* __restrict r1 = w.Row(i + 1);
-    const float* __restrict r2 = w.Row(i + 2);
-    const float* __restrict r3 = w.Row(i + 3);
-    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      const float xj = xv[j];
-      s0 += r0[j] * xj;
-      s1 += r1[j] * xj;
-      s2 += r2[j] * xj;
-      s3 += r3[j] * xj;
-    }
-    (*y)[i] = s0;
-    (*y)[i + 1] = s1;
-    (*y)[i + 2] = s2;
-    (*y)[i + 3] = s3;
-  }
-  for (; i < m; ++i) {
-    const float* __restrict row = w.Row(i);
-    float s = 0.0f;
-    for (int j = 0; j < n; ++j) s += row[j] * xv[j];
-    (*y)[i] = s;
-  }
+  // y^T = x^T * W^T: the m = 1 row form of the batched product, so a vector
+  // forward is bit-identical to any row of the corresponding rows forward,
+  // and W's packed panel comes from the same cache.
+  int ldb = 0;
+  const float* wp = gemm::PackedOpB(w, Trans::kYes, &ldb);
+  gemm::GemmEx(1, m, n, 1.0f, x.data(), n, Trans::kNo, wp, ldb, Trans::kNo,
+               0.0f, y->data(), m, nullptr, Act::kNone);
 }
 
 void MatVecTrans(const Matrix& w, const Vector& x, Vector* y) {
   LNCL_DCHECK(static_cast<int>(x.size()) == w.rows());
   const int m = w.rows();
   const int n = w.cols();
-  y->assign(n, 0.0f);
-  float* __restrict yv = y->data();
-  int i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float x0 = x[i];
-    const float x1 = x[i + 1];
-    const float x2 = x[i + 2];
-    const float x3 = x[i + 3];
-    const float* __restrict r0 = w.Row(i);
-    const float* __restrict r1 = w.Row(i + 1);
-    const float* __restrict r2 = w.Row(i + 2);
-    const float* __restrict r3 = w.Row(i + 3);
-    for (int j = 0; j < n; ++j) {
-      yv[j] += x0 * r0[j] + x1 * r1[j] + x2 * r2[j] + x3 * r3[j];
-    }
-  }
-  for (; i < m; ++i) {
-    const float xi = x[i];
-    const float* __restrict row = w.Row(i);
-    for (int j = 0; j < n; ++j) yv[j] += xi * row[j];
-  }
+  y->resize(n);
+  gemm::GemmEx(1, n, m, 1.0f, x.data(), m, Trans::kNo, w.data(), n,
+               Trans::kNo, 0.0f, y->data(), n, nullptr, Act::kNone);
 }
 
 void OuterAdd(const Vector& x, const Vector& y, float alpha, Matrix* w) {

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/check.h"
 
 namespace lncl::util {
+
+// Globally unique, monotonically consumed content-version tickets for
+// Matrix (see Matrix::version below). Thread-local block allocation: a
+// thread grabs a block of 2^20 tickets with one atomic fetch_add and then
+// hands them out locally, so bumping a version on the training hot path
+// costs no shared-memory traffic.
+uint64_t NextMatrixVersion();
 
 // Dense row-major matrix of floats.
 //
@@ -14,6 +22,15 @@ namespace lncl::util {
 // plain value type (copyable, movable) with bounds-checked access in audit
 // builds (LNCL_AUDIT=ON). Heavy kernels (matrix products) live as free functions below so
 // call sites read like math.
+//
+// Content versioning: every matrix carries a version ticket that changes on
+// any mutating access (non-const data()/Row()/operator(), Fill, Resize,
+// AddScaled, ...) and is *copied* by copy/move, so equal versions imply
+// equal contents. The GEMM pack cache (util/gemm_kernel.h) keys transposed
+// weight panels on (data pointer, version): a weight matrix is repacked
+// once per optimizer step instead of once per layer call, and a replica
+// synced by plain assignment inherits the master's ticket. The bump is a
+// thread-local counter increment — cheap enough for per-row accessors.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -27,8 +44,14 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Content-version ticket: version() == version() of another matrix implies
+  // equal contents (the converse need not hold). 0 only for a default-built,
+  // never-mutated matrix.
+  uint64_t version() const { return version_; }
+
   float& operator()(int r, int c) {
     LNCL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    BumpVersion();
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   float operator()(int r, int c) const {
@@ -36,15 +59,24 @@ class Matrix {
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
-  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* Row(int r) {
+    BumpVersion();
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const float* Row(int r) const {
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
 
-  float* data() { return data_.data(); }
+  float* data() {
+    BumpVersion();
+    return data_.data();
+  }
   const float* data() const { return data_.data(); }
 
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Fill(float v) {
+    BumpVersion();
+    std::fill(data_.begin(), data_.end(), v);
+  }
   void Zero() { Fill(0.0f); }
 
   // Resizes to rows x cols, zero-filling. Existing contents are discarded,
@@ -61,6 +93,7 @@ class Matrix {
   // overwritten, e.g. by a beta=0 Gemm.
   void ResizeNoZero(int rows, int cols) {
     LNCL_DCHECK(rows >= 0 && cols >= 0);
+    BumpVersion();
     rows_ = rows;
     cols_ = cols;
     data_.resize(static_cast<size_t>(rows) * cols);
@@ -80,8 +113,11 @@ class Matrix {
   double SquaredNorm() const;
 
  private:
+  void BumpVersion() { version_ = NextMatrixVersion(); }
+
   int rows_;
   int cols_;
+  uint64_t version_ = 0;
   std::vector<float> data_;
 };
 
@@ -90,6 +126,11 @@ using Vector = std::vector<float>;
 
 // Whether a Gemm operand is transposed.
 enum class Trans { kNo, kYes };
+
+// Fused epilogue activation for GemmEx (util/gemm_kernel.h): applied to
+// each output element after the alpha/beta/bias combination, inside the
+// kernel's single pass over C.
+enum class Act { kNone, kRelu, kTanh };
 
 // General matrix multiply, the single optimized entry point every dense
 // kernel funnels through:
@@ -114,6 +155,16 @@ void Gemm(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
 void GemmRaw(int m, int n, int k, float alpha, const float* a, int lda,
              Trans trans_a, const float* b, int ldb, Trans trans_b, float beta,
              float* c, int ldc);
+
+// Fused Gemm: C = act(alpha * op(A) * op(B) + beta * C + bias), where
+// `bias` (length n, nullable) is broadcast over rows and `act` is applied
+// elementwise, all in the kernel's single pass over C. Layers use this to
+// fold their bias-add / ReLU second pass into the product. Resizing rules
+// match Gemm. When trans_b == kYes, op(B) is served from the version-keyed
+// pack cache (see util/gemm_kernel.h), so a weight matrix reused across a
+// minibatch is transposed once per optimizer step, not once per call.
+void GemmEx(float alpha, const Matrix& a, Trans trans_a, const Matrix& b,
+            Trans trans_b, float beta, Matrix* c, const float* bias, Act act);
 
 // out = a (rows_a x k) * b (k x cols_b). out is resized.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);

@@ -18,6 +18,7 @@
 #include "data/sentiment_gen.h"
 #include "models/ner_tagger.h"
 #include "models/text_cnn.h"
+#include "util/gemm_kernel.h"
 #include "util/rng.h"
 
 namespace lncl {
@@ -141,6 +142,22 @@ TEST_F(SentimentDeterminismTest, RepeatedRunsBitIdentical) {
   const FitSnapshot a = Run(4);
   const FitSnapshot b = Run(4);
   ExpectBitIdentical(a, b);
+}
+
+TEST_F(SentimentDeterminismTest, ScalarKernelOverrideBitIdentical) {
+  // Whole-fit analogue of the LNCL_GEMM_KERNEL=scalar override: the scalar
+  // GEMM backend must reproduce the SIMD trajectory byte-for-byte
+  // (DESIGN.md §9 — one sequential-fma accumulator per output element in
+  // both backends).
+  if (!util::gemm::SimdCompiled()) {
+    GTEST_SKIP() << "no SIMD kernel in this build";
+  }
+  util::gemm::SetActiveKindForTest(util::gemm::Kind::kSimd);
+  const FitSnapshot simd = Run(1);
+  util::gemm::SetActiveKindForTest(util::gemm::Kind::kScalar);
+  const FitSnapshot scalar = Run(1);
+  util::gemm::SetActiveKindForTest(util::gemm::ParseKindEnv());
+  ExpectBitIdentical(simd, scalar);
 }
 
 // ------------------------------------------------------------- NER tagger

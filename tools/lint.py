@@ -23,6 +23,11 @@ Rules (each with a per-rule allowlist of path globs):
                obs/ telemetry layer — timings must flow through
                util::Stopwatch or obs::PhaseSpan so every duration lands in
                PhaseSeconds / trace events instead of ad-hoc prints.
+  intrinsics   raw SIMD intrinsics (_mm*_ calls, __m128/256/512 types,
+               immintrin.h) are banned outside src/util/gemm_kernel.* —
+               vector code lives behind the microkernel layer so the rest
+               of the tree stays portable and the scalar/SIMD bit-equality
+               contract has a single enforcement point.
 
 A line may waive a rule explicitly with a trailing `// lint: allow(<rule>)`
 comment; prefer extending the allowlist for whole-file exemptions.
@@ -120,6 +125,16 @@ RULES = [
         # freestanding (no util dependency).
         allowlist=("src/util/timer.h", "src/obs/*"),
     ),
+    Rule(
+        name="intrinsics",
+        description="raw SIMD intrinsic; keep vector code in "
+                    "util/gemm_kernel.*",
+        pattern=r"\b_mm\d*_\w+|\b__m(?:128|256|512)[a-z]*\b|"
+                r"\b__mmask\d+\b|\bimmintrin\.h\b",
+        roots=("src", "bench"),
+        extensions=CODE_EXTS,
+        allowlist=("src/util/gemm_kernel.h", "src/util/gemm_kernel.cc"),
+    ),
 ]
 
 WAIVER = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)")
@@ -183,6 +198,7 @@ def self_test(root):
         "bad_pragma_once.h": "pragma-once",
         "bad_assert.cc": "assert",
         "bad_timing.cc": "timing",
+        "bad_intrinsics.cc": "intrinsics",
         "good.cc": None,
         "good.h": None,
     }

@@ -1,0 +1,11 @@
+// Fixture: must trip the `intrinsics` rule (and only it) when staged under
+// src/. Raw SIMD belongs in src/util/gemm_kernel.* behind the microkernel
+// API.
+#include <immintrin.h>
+
+float SumLanes(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  float out[8];
+  _mm256_storeu_ps(out, v);
+  return out[0];
+}
