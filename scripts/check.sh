@@ -5,6 +5,14 @@
 # conventions are the cheapest failures to surface. Then each requested
 # sweep builds the tree and runs the tier-1 suite:
 #
+#   analyze            AST-grounded static analysis (tools/analyze/): the
+#                      fixture self-test, the full-tree run (builtin
+#                      frontend always; libclang sharpens it when present),
+#                      and the clang-tidy zero-warning baseline gate (skips
+#                      gracefully when the binary is absent). Also runs as
+#                      part of the lint pass; the named sweep re-runs it
+#                      after the tree is configured so the analyzer sees
+#                      build/compile_commands.json.
 #   audit              -DLNCL_AUDIT=ON: every LNCL_DCHECK / LNCL_AUDIT_*
 #                      numeric-invariant contract live (simplex posteriors,
 #                      row-stochastic confusions, finite gradients, poisoned
@@ -84,6 +92,13 @@ if [ $# -ge 1 ]; then
 fi
 
 for sweep in "${sweeps[@]}"; do
+  if [ "$sweep" = "analyze" ]; then
+    echo "===== static analysis (tools/analyze + clang-tidy gate) ====="
+    python3 tools/analyze/analyze.py --self-test
+    python3 tools/analyze/analyze.py
+    scripts/tidy.sh
+    continue
+  fi
   if [ "$sweep" = "audit" ]; then
     build="build-audit-check"
     echo "===== LNCL_AUDIT=ON (${build}) ====="

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Repo-convention lint pass: runs the dependency-free rule linter
 # (tools/lint.py), proves each rule still fires via its fixture self-test,
-# then checks formatting with clang-format when the binary is available
-# (the rule linter never needs it, so CI without clang-format still gets
-# full convention coverage).
+# then the AST-grounded analyzer (tools/analyze/) the same way, then checks
+# formatting with clang-format and the curated .clang-tidy baseline when
+# those binaries are available (the rule linter and analyzer never need
+# them, so CI without LLVM tools still gets full convention coverage — the
+# analyzer's builtin frontend is dependency-free and libclang only sharpens
+# it).
 #
-#   scripts/lint.sh         # lint + self-test + format check
+#   scripts/lint.sh         # lint + analyze + self-tests + format check
 #   scripts/lint.sh --fix   # same, but clang-format rewrites files in place
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,6 +23,15 @@ python3 tools/lint.py
 
 echo "===== lint: rule self-test (tools/lint_fixtures/) ====="
 python3 tools/lint.py --self-test
+
+echo "===== lint: analyzer self-test (tools/analyze/fixtures/) ====="
+python3 tools/analyze/analyze.py --self-test
+
+echo "===== lint: static analysis (tools/analyze/) ====="
+python3 tools/analyze/analyze.py
+
+echo "===== lint: clang-tidy baseline (scripts/tidy.sh) ====="
+scripts/tidy.sh
 
 if command -v clang-format >/dev/null 2>&1; then
   echo "===== lint: clang-format ($([ "$fix" = 1 ] && echo fix || echo check)) ====="

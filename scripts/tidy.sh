@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# clang-tidy gate with a committed zero-warning baseline.
+#
+# The curated check set lives in .clang-tidy (bugprone-*, performance-*,
+# concurrency-*, selected cppcoreguidelines). The committed baseline at
+# tools/analyze/clang_tidy_baseline.txt is the full normalized warning list
+# the tree is allowed to produce — kept empty: the tree is tidy-clean, and
+# any new warning is a diff against the baseline and fails the gate.
+#
+# clang-tidy is optional tooling (same policy as the clang-format gate in
+# scripts/lint.sh): when no pinned binary is found the gate skips with a
+# note instead of failing, so dependency-free CI keeps full coverage from
+# tools/lint.py + tools/analyze/.
+#
+#   scripts/tidy.sh             # gate against the committed baseline
+#   scripts/tidy.sh --rebase    # rewrite the baseline from current output
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=tools/analyze/clang_tidy_baseline.txt
+compdb=build/compile_commands.json
+
+# Pinned lookup, newest first, so the gate is reproducible across hosts
+# that carry several LLVM majors. LNCL_CLANG_TIDY overrides.
+tidy_bin=""
+for cand in "${LNCL_CLANG_TIDY:-}" clang-tidy-18 clang-tidy-17 \
+    clang-tidy-16 clang-tidy-15 clang-tidy-14 clang-tidy; do
+  [ -n "$cand" ] || continue
+  if command -v "$cand" >/dev/null 2>&1; then
+    tidy_bin=$cand
+    break
+  fi
+done
+
+if [ -z "$tidy_bin" ]; then
+  echo "tidy: no clang-tidy binary found (set LNCL_CLANG_TIDY to pin one);" \
+       "skipping baseline gate"
+  exit 0
+fi
+
+if [ ! -f "$compdb" ]; then
+  echo "tidy: $compdb missing — configure first (cmake -B build -S .);" \
+       "skipping baseline gate"
+  exit 0
+fi
+
+files=$(git ls-files 'src/*.cc')
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# shellcheck disable=SC2086
+"$tidy_bin" -p build --quiet $files 2>/dev/null \
+  | grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' \
+  | sed "s|^$(pwd)/||" | LC_ALL=C sort -u > "$out" || true
+
+if [ "${1:-}" = "--rebase" ]; then
+  cp "$out" "$baseline"
+  echo "tidy: baseline rewritten ($(wc -l < "$baseline") line(s))"
+  exit 0
+fi
+
+if ! diff -u "$baseline" "$out"; then
+  echo "tidy: findings differ from the committed baseline" \
+       "($baseline); fix them or justify via NOLINT with a reason"
+  exit 1
+fi
+echo "tidy: clean against baseline ($tidy_bin)"

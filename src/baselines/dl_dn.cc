@@ -1,5 +1,7 @@
 #include "baselines/dl_dn.h"
 
+#include <algorithm>
+
 
 #include "core/trainer.h"
 #include "eval/metrics.h"

@@ -1,5 +1,6 @@
 #include "core/logic_lncl.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "eval/metrics.h"

@@ -48,6 +48,7 @@ std::vector<util::Matrix> AnnotationSet::MajorityVote(
         for (int k = 0; k < num_classes_; ++k) q(t, k) *= inv;
       }
     }
+    LNCL_AUDIT_SIMPLEX(q);
     result.push_back(std::move(q));
   }
   return result;

@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 

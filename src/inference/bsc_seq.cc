@@ -1,5 +1,6 @@
 #include "inference/bsc_seq.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 

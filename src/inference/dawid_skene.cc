@@ -1,5 +1,6 @@
 #include "inference/dawid_skene.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace lncl::inference {

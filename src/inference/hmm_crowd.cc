@@ -1,5 +1,6 @@
 #include "inference/hmm_crowd.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "crowd/confusion.h"

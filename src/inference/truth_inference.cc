@@ -50,6 +50,7 @@ std::vector<util::Matrix> UnflattenPosteriors(
       const util::Vector& p = posterior[view.begin[i] + t];
       for (int k = 0; k < view.num_classes; ++k) m(t, k) = p[k];
     }
+    LNCL_AUDIT_SIMPLEX(m);
     out.push_back(std::move(m));
   }
   return out;

@@ -1,5 +1,6 @@
 #include "models/model.h"
 
+#include <algorithm>
 #include <map>
 
 #include "obs/metrics.h"

@@ -1,6 +1,7 @@
 #include "util/chain.h"
 #include "util/check.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 

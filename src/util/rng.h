@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <random>
+#include <utility>
 #include <vector>
 
 namespace lncl::util {

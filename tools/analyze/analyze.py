@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""AST-grounded static analysis for the Logic-LNCL tree.
+
+The tier above tools/lint.py's regex rules: structural checks that need to
+see lambdas, captures, declarations, and writes, not lines. Checks:
+
+  slot-race           writes through by-reference captures in a
+                      Parallelizer::RunSlots lambda must be slot-indexed
+  determinism         raw entropy outside util/rng.*; order-sensitive
+                      folds over unordered containers
+  workspace-lifetime  util::Workspace storage must not escape its
+                      acquiring scope (return / member store / outliving
+                      lambda capture)
+  audit-coverage      probability producers in core/ + inference/ must
+                      carry an LNCL_AUDIT_* contract (directly or via an
+                      audited callee)
+
+plus the suppression policy: `// lncl-analyze: allow(<check>)` waives a
+finding on its line (or the line below the comment), but MUST carry a
+justification (`-- <reason>`); a bare or unknown allow is itself reported
+as [bad-suppression].
+
+Frontends (tools/analyze/frontends.py): clang.cindex over the
+CMake-exported compile_commands.json when the libclang python bindings are
+installed (pinned library lookup, LNCL_LIBCLANG to override), otherwise a
+dependency-free builtin lexer — the analyze step never silently vanishes
+on machines without libclang.
+
+Usage:
+  tools/analyze/analyze.py                    analyze src/; exit 1 on
+                                              findings
+  tools/analyze/analyze.py --compdb build/compile_commands.json
+  tools/analyze/analyze.py --self-test        run the fixture corpus in
+                                              tools/analyze/fixtures/
+  tools/analyze/analyze.py --list-checks
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks as checks_pkg  # noqa: E402
+from checks import TreeContext, all_checks, check_names  # noqa: E402
+from engine import SUPPRESS_RE, suppression_for  # noqa: E402
+from frontends import (BuiltinFrontend, load_compile_args,  # noqa: E402
+                       select_frontend)
+
+FIXTURE_PATH_DIRECTIVE = "fixture-path:"
+
+
+def iter_tree_files(root):
+    """Analysis scope: library code under src/ (headers + sources)."""
+    top = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(top):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root)
+
+
+def build_context(root, relpaths, frontend, compile_args, errors):
+    ctx = TreeContext()
+    for rel in relpaths:
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = f.read()
+            ir = frontend.parse(path, rel,
+                                compile_args.get(os.path.normpath(path)))
+        except Exception as e:  # frontend bug or unparsable file
+            try:
+                ir = BuiltinFrontend().parse(path, rel)
+            except Exception:
+                errors.append(f"{rel}: unparsable: {e}")
+                continue
+        ctx.add_file(ir, raw)
+    ctx.finalize()
+    return ctx
+
+
+def run_checks(ctx):
+    """Returns a list of (relpath, line, check, message), suppression policy
+    applied."""
+    findings = []
+    known = set(check_names())
+    for rel in sorted(ctx.files):
+        ir = ctx.files[rel]
+        for mod in all_checks():
+            for line, msg in mod.run(ir, ctx) or ():
+                present, justified = suppression_for(ir, line, mod.NAME)
+                if present:
+                    # Justified or not, the allow wins the line — an
+                    # unjustified one is reported by the policy scan below.
+                    continue
+                findings.append((rel, line, mod.NAME, msg))
+        # Suppression policy: every allow() must name a known check and
+        # carry a `-- <reason>` justification.
+        for ln in sorted(ir.comments):
+            for m in SUPPRESS_RE.finditer(ir.comments[ln]):
+                target, reason = m.group(1), m.group(2)
+                if target not in known:
+                    findings.append(
+                        (rel, ln, "bad-suppression",
+                         f"allow({target}) names an unknown check "
+                         f"(known: {', '.join(sorted(known))})"))
+                elif not reason:
+                    findings.append(
+                        (rel, ln, "bad-suppression",
+                         f"allow({target}) carries no justification — "
+                         "write `// lncl-analyze: allow(" + target +
+                         ") -- <reason>`"))
+    return findings
+
+
+def report(findings):
+    for rel, line, check, msg in sorted(findings):
+        print(f"{rel}:{line}: [{check}] {msg}")
+    print(f"analyze: {len(findings)} finding(s)")
+
+
+# ---------------------------------------------------------------------------
+# Self-test over the fixture corpus
+# ---------------------------------------------------------------------------
+
+
+def _fixture_expectations(path):
+    """EXPECT: <check> comments mark the exact lines findings must land on.
+    Returns (staged_relpath, {(line, check), ...})."""
+    staged = None
+    expect = set()
+    with open(path, encoding="utf-8") as f:
+        for i, line in enumerate(f, start=1):
+            if FIXTURE_PATH_DIRECTIVE in line:
+                staged = line.split(FIXTURE_PATH_DIRECTIVE, 1)[1].strip()
+            if "EXPECT:" in line:
+                for name in line.split("EXPECT:", 1)[1].split(","):
+                    expect.add((i, name.strip()))
+    name = os.path.basename(path)
+    return staged or f"src/core/{name}", expect
+
+
+def self_test(root):
+    fixture_dir = os.path.join(root, "tools", "analyze", "fixtures")
+    names = sorted(n for n in os.listdir(fixture_dir) if n.endswith(".cc"))
+    frontend = BuiltinFrontend()
+    failures = 0
+    fired = {}  # check -> [firing fixtures, clean fixtures]
+    for c in check_names():
+        fired[c] = [0, 0]
+    for name in names:
+        src = os.path.join(fixture_dir, name)
+        staged_rel, expect = _fixture_expectations(src)
+        errors = []
+        ctx = TreeContext()
+        with open(src, encoding="utf-8") as f:
+            raw = f.read()
+        try:
+            ir = frontend.parse(src, staged_rel)
+        except Exception as e:
+            print(f"self-test: {name}: PARSE ERROR: {e}")
+            failures += 1
+            continue
+        ir.relpath = staged_rel
+        ctx.add_file(ir, raw)
+        ctx.finalize()
+        got = {(line, check) for _, line, check, _ in run_checks(ctx)}
+        ok = got == expect
+        for c in {c for _, c in expect}:
+            fired[c][0] += 1
+        if not expect:
+            for c in check_names():
+                fired[c][1] += 1
+        status = "ok" if ok else "FAIL"
+        detail = ""
+        if not ok:
+            missing = sorted(expect - got)
+            extra = sorted(got - expect)
+            detail = f"  missing={missing} extra={extra}"
+        print(f"self-test: {name}: expected {len(expect)} finding(s), "
+              f"got {len(got)} [{status}]{detail}")
+        failures += 0 if ok else 1
+        del errors
+    for check, (pos, neg) in sorted(fired.items()):
+        if pos == 0 or neg == 0:
+            print(f"self-test: check '{check}' lacks "
+                  f"{'a firing' if pos == 0 else 'a clean'} fixture [FAIL]")
+            failures += 1
+    print(f"self-test: {failures} failure(s) across {len(names)} fixtures")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="AST-grounded static analysis (see tools/analyze/)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: grandparent of this file)")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json (default: "
+                             "<root>/build/compile_commands.json if present)")
+    parser.add_argument("--frontend", choices=("auto", "builtin", "clang"),
+                        default="auto")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+    if args.list_checks:
+        for mod in all_checks():
+            print(f"{mod.NAME:20s} {mod.DESCRIPTION}")
+        print(f"{'bad-suppression':20s} allow() without a known check name "
+              "or a `-- <reason>` justification")
+        return 0
+
+    if args.self_test:
+        return 1 if self_test(root) else 0
+
+    frontend, note = select_frontend(args.frontend)
+    if note:
+        print(f"analyze: {note}")
+    compdb = args.compdb
+    if compdb is None:
+        default = os.path.join(root, "build", "compile_commands.json")
+        compdb = default if os.path.exists(default) else None
+    compile_args = load_compile_args(compdb)
+    if compdb:
+        print(f"analyze: using {os.path.relpath(compdb, root)} "
+              f"({frontend.name} frontend)")
+    else:
+        print(f"analyze: no compile_commands.json; walking src/ "
+              f"({frontend.name} frontend)")
+
+    errors = []
+    relpaths = list(iter_tree_files(root))
+    ctx = build_context(root, relpaths, frontend, compile_args, errors)
+    findings = run_checks(ctx)
+    for e in errors:
+        findings.append((e.split(":")[0], 1, "parse-error", e))
+    if findings:
+        report(findings)
+        return 1
+    print(f"analyze: clean ({len(relpaths)} files, "
+          f"{len(all_checks())} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

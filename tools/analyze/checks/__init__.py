@@ -1,0 +1,128 @@
+"""Check registry + cross-file context for the lncl analyzer.
+
+Each check module exposes NAME, DESCRIPTION and run(ir, ctx) yielding
+(line, message) findings. The driver owns suppression handling
+(`// lncl-analyze: allow(<check>) -- <justification>`) and the
+bad-suppression policy check.
+"""
+
+import os
+import re
+
+# Method names treated as writes when invoked through a captured object.
+# Deliberately curated (soundness traded for zero false positives); the
+# fixtures pin the contract, extend the set alongside a fixture update.
+MUTATORS = {
+    "push_back", "emplace_back", "pop_back", "insert", "emplace", "erase",
+    "clear", "resize", "reserve", "assign", "swap",
+    # util::Matrix / repo-specific mutators
+    "Zero", "Fill", "Set", "Add", "AddScaled", "Resize", "ResizeNoZero",
+    "NormalizeRows", "Accumulate", "Merge",
+}
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class TreeContext:
+    """Facts that need the whole tree: the audited-function set for the
+    audit-coverage delegation rule, unordered-container variable names for
+    the determinism check, and the include graph that scopes them."""
+
+    def __init__(self):
+        self.files = {}            # relpath -> FileIR
+        self.includes = {}         # relpath -> [relpath, ...]
+        self.audited_fns = set()   # function names containing LNCL_AUDIT_*
+        self.unordered_decls = {}  # relpath -> {var name, ...}
+
+    def add_file(self, ir, raw_text):
+        rel = ir.relpath
+        self.files[rel] = ir
+        incs = []
+        for line in raw_text.split("\n"):
+            m = _INCLUDE_RE.match(line)
+            if m:
+                incs.append("src/" + m.group(1)
+                            if not m.group(1).startswith("src/")
+                            else m.group(1))
+        self.includes[rel] = incs
+        self.unordered_decls[rel] = _harvest_unordered(ir)
+
+    def finalize(self):
+        # Transitive fixpoint over the call-name graph: a function is
+        # "audited" if its body contains an LNCL_AUDIT_* contract directly,
+        # or if it calls (by name) a function that is. This lets
+        # `Infer -> RunDetailed -> UnflattenPosteriors` count as coverage
+        # without each hop restating the contract.
+        calls = {}  # name -> {called names}
+        for ir in self.files.values():
+            for fd in ir.function_defs():
+                toks = ir.toks
+                body = toks[fd.body_begin:fd.body_end]
+                if any(t.kind == "id" and t.text.startswith("LNCL_AUDIT_")
+                       for t in body):
+                    self.audited_fns.add(fd.name)
+                callees = calls.setdefault(fd.name, set())
+                for k in range(fd.body_begin, fd.body_end - 1):
+                    if toks[k].kind == "id" and toks[k + 1].text == "(":
+                        callees.add(toks[k].text)
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name not in self.audited_fns \
+                        and callees & self.audited_fns:
+                    self.audited_fns.add(name)
+                    changed = True
+
+    def unordered_names_for(self, relpath):
+        """Unordered-container variable names visible to a TU: its own plus
+        those of transitively included repo headers."""
+        seen = set()
+        names = set()
+        stack = [relpath]
+        while stack:
+            rel = stack.pop()
+            if rel in seen:
+                continue
+            seen.add(rel)
+            names |= self.unordered_decls.get(rel, set())
+            stack.extend(i for i in self.includes.get(rel, ())
+                         if i in self.files)
+        return names
+
+
+def _harvest_unordered(ir):
+    names = set()
+    toks = ir.toks
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in ("unordered_map",
+                                            "unordered_set",
+                                            "unordered_multimap",
+                                            "unordered_multiset"):
+            continue
+        j = i + 1
+        if j >= len(toks) or toks[j].text != "<":
+            continue
+        depth = 0
+        while j < len(toks):
+            text = toks[j].text
+            if toks[j].kind == "punct":
+                depth += text.count("<") - text.count(">")
+            j += 1
+            if depth <= 0:
+                break
+        while j < len(toks) and toks[j].text in ("&", "*", "const"):
+            j += 1
+        if j < len(toks) and toks[j].kind == "id":
+            names.add(toks[j].text)
+    return names
+
+
+def all_checks():
+    from checks import (audit_coverage, determinism, slot_race,
+                        workspace_lifetime)
+    return [slot_race, determinism, workspace_lifetime, audit_coverage]
+
+
+def check_names():
+    return [c.NAME for c in all_checks()] + ["bad-suppression"]

@@ -1,0 +1,49 @@
+"""audit-coverage: public probability producers in src/core/ and
+src/inference/ must carry an LNCL_AUDIT_* contract (PR 3's macro layer) so
+audit builds can see their rows. A producer is an out-of-line,
+non-anonymous-namespace function definition whose return type involves
+Matrix/Vector and whose name matches the repo's producer conventions
+(Infer/Run/ComputeQ*/...Posterior*/Project*). Delegation counts: calling
+any function (tree-wide) whose body audits directly satisfies the
+contract — e.g. every TruthInference::Infer that returns through
+UnflattenPosteriors.
+
+Escape hatch: `// lncl-analyze: allow(audit-coverage) -- <why exempt>`.
+"""
+
+import re
+
+NAME = "audit-coverage"
+DESCRIPTION = ("probability producer lacks an LNCL_AUDIT_* contract "
+               "(directly or via an audited callee)")
+
+_SCOPES = ("src/core/", "src/inference/")
+_PRODUCER = re.compile(
+    r"^(Infer|Run|ComputeQ\w*|\w*Posteriors?\w*|Project\w*)$")
+_RET = re.compile(r"\b(Matrix|Vector)\b")
+
+
+def run(ir, ctx):
+    if not ir.relpath.startswith(_SCOPES) or not ir.relpath.endswith(".cc"):
+        return
+    for fd in ir.function_defs():
+        if fd.anon_ns:
+            continue
+        if not _PRODUCER.match(fd.name):
+            continue
+        if not _RET.search(" ".join(fd.ret_tokens)):
+            continue
+        body = ir.toks[fd.body_begin:fd.body_end]
+        if any(t.kind == "id" and t.text.startswith("LNCL_AUDIT_")
+               for t in body):
+            continue
+        delegated = any(
+            t.kind == "id" and t.text in ctx.audited_fns
+            and k + 1 < len(body) and body[k + 1].text == "("
+            for k, t in enumerate(body))
+        if delegated:
+            continue
+        yield (fd.line,
+               f"'{fd.qualname}' produces probability rows but contains "
+               "no LNCL_AUDIT_* contract and calls no audited function — "
+               "audit builds (-DLNCL_AUDIT=ON) cannot verify its output")

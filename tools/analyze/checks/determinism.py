@@ -1,0 +1,102 @@
+"""determinism: sources of run-to-run nondeterminism.
+
+  (a) raw entropy — rand()/srand(), std::random_device, direct mt19937
+      construction — anywhere outside src/util/rng.* (every stochastic
+      component must draw from the seeded util::Rng);
+  (b) iteration over an unordered container whose loop body writes state
+      declared outside the loop (iteration order is unspecified, so any
+      fold over it — float accumulation especially — is nondeterministic
+      across libstdc++ versions, hash seeds, and element histories).
+
+Escape hatch: `// lncl-analyze: allow(determinism) -- <why order-safe>`
+(e.g. the loop fills a container that is sorted immediately afterwards).
+"""
+
+import checks
+
+NAME = "determinism"
+DESCRIPTION = ("raw entropy source or order-sensitive fold over an "
+               "unordered container")
+
+_RNG_EXEMPT = ("src/util/rng.h", "src/util/rng.cc")
+_ENTROPY_CALLS = {"rand", "srand"}
+_ENTROPY_TYPES = {"random_device", "mt19937", "mt19937_64", "minstd_rand",
+                  "default_random_engine", "ranlux24", "ranlux48"}
+
+
+def run(ir, ctx):
+    toks = ir.toks
+    if ir.relpath not in _RNG_EXEMPT:
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.text in _ENTROPY_CALLS and i + 1 < len(toks) \
+                    and toks[i + 1].text == "(" \
+                    and (i == 0 or toks[i - 1].text not in (".", "->")):
+                yield (t.line, f"raw '{t.text}()' call — draw from the "
+                               "seeded util::Rng (src/util/rng.h) instead")
+            elif t.text in _ENTROPY_TYPES:
+                yield (t.line, f"'std::{t.text}' outside src/util/rng.* — "
+                               "unseeded/raw engines break reproducible "
+                               "runs; use util::Rng")
+
+    unordered = ctx.unordered_names_for(ir.relpath)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != "for" or i + 1 >= len(toks) \
+                or toks[i + 1].text != "(":
+            continue
+        close = ir.match.get(i + 1)
+        if close is None:
+            continue
+        header = toks[i + 2:close]
+        # range-for only: top-level ':' present, no ';'
+        depth = 0
+        colon = None
+        semi = False
+        for k, ht in enumerate(header):
+            if ht.kind != "punct":
+                continue
+            if ht.text in "([{":
+                depth += 1
+            elif ht.text in ")]}":
+                depth -= 1
+            elif depth == 0 and ht.text == ";":
+                semi = True
+            elif depth == 0 and ht.text == ":" and colon is None:
+                colon = k
+        if semi or colon is None:
+            continue
+        range_ids = [ht.text for ht in header[colon + 1:] if ht.kind == "id"]
+        over = next((n for n in range_ids if n in unordered), None)
+        if over is None and not any(n in ("unordered_map", "unordered_set")
+                                    for n in range_ids):
+            continue
+        over = over or "unordered temporary"
+        # loop body: '{...}' or single statement
+        body_b = close + 1
+        if body_b >= len(toks):
+            continue
+        if toks[body_b].text == "{":
+            body_e = ir.match.get(body_b)
+            if body_e is None:
+                continue
+            body_b += 1
+        else:
+            body_e = ir._stmt_end(body_b, len(toks))
+        from engine import DECL_QUALIFIERS, TYPE_KEYWORDS
+        body_locals = set(ir.local_decls(body_b, body_e))
+        body_locals |= {ht.text for ht in header[:colon]
+                        if ht.kind == "id"
+                        and ht.text not in TYPE_KEYWORDS
+                        and ht.text not in DECL_QUALIFIERS}
+        for w in ir.writes(body_b, body_e, checks.MUTATORS):
+            base = w["base"]
+            if base is None or base in body_locals:
+                continue
+            kind = ("accumulation into"
+                    if w["kind"] == "assign" else "write to")
+            yield (w["line"],
+                   f"{kind} '{base}' (declared outside the loop) while "
+                   f"iterating unordered container '{over}' — iteration "
+                   "order is unspecified, so the result is "
+                   "nondeterministic")

@@ -1,0 +1,84 @@
+"""slot-race: writes through by-reference captures inside a lambda passed
+to Parallelizer::RunSlots must be indexed by the slot parameter (or by a
+value derived from it / from SlotRange). This is the AST form of the
+determinism contract in DESIGN.md §5: slots may run on any thread in any
+order, so every write that is not slot-partitioned is a data race AND a
+float-merge-order change.
+
+Escape hatch: `// lncl-analyze: allow(slot-race) -- <why this is safe>`
+on (or directly above) the offending line.
+"""
+
+import checks
+
+NAME = "slot-race"
+DESCRIPTION = ("write through a by-reference capture in a RunSlots lambda "
+               "is not slot-indexed")
+
+
+def _slot_derived(ir, locals_, seed):
+    """Fixpoint of 'initialized from the slot parameter / SlotRange'."""
+    derived = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for name, (ib, ie, _is_ref) in locals_.items():
+            if name in derived:
+                continue
+            for t in ir.toks[ib:ie]:
+                if t.kind == "id" and (t.text in derived
+                                       or t.text == "SlotRange"):
+                    derived.add(name)
+                    changed = True
+                    break
+    return derived
+
+
+def run(ir, ctx):
+    for i in ir.find_ident("RunSlots"):
+        if i + 1 >= len(ir.toks) or ir.toks[i + 1].text != "(":
+            continue
+        # Only call sites: repo style always invokes through the executor
+        # object (`exec->RunSlots`, `pool.RunSlots`). This skips the
+        # declaration/definition of RunSlots itself in threadpool.{h,cc}.
+        if i == 0 or ir.toks[i - 1].text not in (".", "->"):
+            continue
+        lam = None
+        for b, _e in ir.call_args(i + 1):
+            if ir.toks[b].text == "[":
+                lam = ir.parse_lambda(b)
+                break
+        if lam is None:
+            # RunSlots handed a named callable: the analyzer only reasons
+            # about inline lambdas; demand one (cheap to comply with).
+            yield (ir.toks[i].line,
+                   "RunSlots argument is not an inline lambda; the "
+                   "slot-race check cannot see its writes")
+            continue
+        if not lam.params:
+            continue
+        slot_param = lam.params[0]
+        body_b, body_e = lam.body_begin + 1, lam.body_end
+        locals_ = ir.local_decls(body_b, body_e)
+        derived = _slot_derived(ir, locals_, {slot_param})
+        for w in ir.writes(body_b, body_e, checks.MUTATORS):
+            base = w["base"]
+            if base is None or base in locals_ or base in lam.params:
+                continue
+            if lam.captures.get(base) == "val":
+                continue  # writes to a by-value capture touch a copy
+            if base in derived:
+                continue
+            indexed = any(
+                t.kind == "id" and t.text in derived
+                for ib, ie in w["indices"]
+                for t in ir.toks[ib:ie])
+            if indexed:
+                continue
+            what = {"assign": "assignment to", "incdec": "increment of",
+                    "call": f"mutating call .{w.get('method', '?')}() on",
+                    "addr": "pointer escape (&) of"}[w["kind"]]
+            yield (w["line"],
+                   f"{what} shared '{base}' inside a RunSlots lambda is "
+                   f"not indexed by slot parameter '{slot_param}' or a "
+                   "SlotRange-derived index")

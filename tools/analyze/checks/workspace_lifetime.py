@@ -1,0 +1,168 @@
+"""workspace-lifetime: matrices handed out by util::Workspace /
+WorkspaceScope are valid only until the acquiring scope dies (workspace.h
+lifetime rules). Spans, pointers, or references obtained from the arena
+must not (1) escape through `return`, (2) be stored into members, or
+(3) be captured by a lambda that outlives the statement (stored, returned,
+or submitted to a thread pool).
+
+Escape hatch: `// lncl-analyze: allow(workspace-lifetime) -- <why safe>`.
+"""
+
+import checks
+
+NAME = "workspace-lifetime"
+DESCRIPTION = ("workspace-arena matrix escapes its acquiring scope "
+               "(return/member-store/captured by an outliving lambda)")
+
+_SOURCES = {"NewMatrix", "Acquire"}
+_DEFERRING_SINKS = {"Submit"}
+
+
+def _ws_bound(ir, locals_):
+    """names bound to workspace storage; `ptrs` additionally tracks raw
+    pointers/references *into* that storage (x.data(), &x)."""
+    bound = set()
+    ptrs = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, (ib, ie, is_ref) in locals_.items():
+            if name in bound:
+                continue
+            init = ir.toks[ib:ie]
+            direct = any(t.kind == "id" and t.text in _SOURCES for t in init)
+            via = any(t.kind == "id" and t.text in bound for t in init)
+            if direct or (via and is_ref):
+                bound.add(name)
+                changed = True
+            elif via:
+                # pointer/data() derivation: `float* p = m.data();`
+                texts = [t.text for t in init]
+                if "data" in texts or "&" in texts:
+                    bound.add(name)
+                    ptrs.add(name)
+                    changed = True
+    return bound, ptrs
+
+
+def _escape_in(ir, b, e, bound, ptrs):
+    """Is there an address/pointer escape of a bound name in [b, e)?
+    Returns the offending name or None. Value copies are fine."""
+    toks = ir.toks
+    for k in range(b, e):
+        t = toks[k]
+        if t.kind != "id" or t.text not in bound:
+            continue
+        prev = toks[k - 1] if k > b else None
+        nxt = toks[k + 1] if k + 1 < e else None
+        nxt2 = toks[k + 2] if k + 2 < e else None
+        if prev is not None and prev.text == "&":
+            return t.text
+        if nxt is not None and nxt.text in (".", "->") \
+                and nxt2 is not None and nxt2.text == "data":
+            return t.text
+        if t.text in ptrs:
+            return t.text  # a raw pointer into the arena, passed around
+    return None
+
+
+def run(ir, ctx):
+    for fd in ir.function_defs():
+        body_b, body_e = fd.body_begin + 1, fd.body_end
+        locals_ = ir.local_decls(body_b, body_e)
+        bound, ptrs = _ws_bound(ir, locals_)
+        has_source = bound or any(
+            t.kind == "id" and t.text in _SOURCES
+            for t in ir.toks[body_b:body_e])
+        if not has_source:
+            continue
+        returns_indirect = fd.ret_tokens and fd.ret_tokens[-1] in ("&", "*")
+
+        for sb, se in ir.statements(body_b, body_e):
+            toks = ir.toks
+            if sb < se and toks[sb].kind == "id" \
+                    and toks[sb].text == "return":
+                name = _escape_in(ir, sb + 1, se, bound, ptrs)
+                if name is None and returns_indirect:
+                    name = next((t.text for t in toks[sb + 1:se]
+                                 if t.kind == "id" and t.text in bound),
+                                None)
+                if name is None and returns_indirect and any(
+                        t.kind == "id" and t.text in _SOURCES
+                        for t in toks[sb + 1:se]):
+                    name = "workspace matrix"
+                if name is not None:
+                    yield (toks[sb].line,
+                           f"returning workspace-arena storage ('{name}') "
+                           f"from '{fd.qualname}' — the arena reclaims it "
+                           "when the acquiring scope dies")
+
+        for w in ir.writes(body_b, body_e, checks.MUTATORS):
+            if w["kind"] != "assign":
+                continue
+            base = w["base"]
+            is_member = base is not None and base not in locals_ \
+                and (base.endswith("_") or any(
+                    t.text == "this" for t in ir.toks[w["lhs"][0]:w["lhs"][1]]
+                ))
+            if not is_member:
+                continue
+            rb, re_ = w["rhs"]
+            name = _escape_in(ir, rb, re_, bound, ptrs)
+            if name is None and any(t.kind == "id" and t.text in _SOURCES
+                                    for t in ir.toks[rb:re_]):
+                name = "workspace matrix"
+            if name is not None:
+                yield (w["line"],
+                       f"storing workspace-arena storage ('{name}') into "
+                       f"member '{base}' — it outlives the acquiring "
+                       "scope; copy the values or use owned storage")
+
+        # Lambdas capturing bound names, in outliving positions.
+        i = body_b
+        while i < body_e:
+            t = ir.toks[i]
+            if t.kind == "punct" and t.text == "[":
+                lam = ir.parse_lambda(i)
+                if lam is not None:
+                    uses = {tt.text for tt in
+                            ir.toks[lam.body_begin:lam.body_end]
+                            if tt.kind == "id"} & bound
+                    explicit = {n for n, k in lam.captures.items()
+                                if n in bound}
+                    captured = explicit or (
+                        uses if lam.default_capture is not None else set())
+                    if captured:
+                        prev = ir.toks[i - 1] if i > body_b else None
+                        # A lambda escapes only when it outlives the scope:
+                        # returned, stored into a member, or handed to a
+                        # deferring sink. `auto f = [...]` is a scope-local
+                        # and dies with the arena scope — fine.
+                        stored = prev is not None and prev.kind == "id" \
+                            and prev.text == "return"
+                        if not stored and prev is not None \
+                                and prev.text == "=":
+                            lhs_b = ir._lhs_begin(i - 1, body_b)
+                            if lhs_b is not None \
+                                    and not ir._is_decl_context(lhs_b, i - 1):
+                                lbase, _ = ir._chain_info(lhs_b, i - 1)
+                                stored = lbase is not None and (
+                                    lbase.endswith("_") or any(
+                                        tt.text == "this"
+                                        for tt in ir.toks[lhs_b:i - 1]))
+                        deferred = prev is not None and prev.text == "(" \
+                            and i - 2 >= body_b \
+                            and ir.toks[i - 2].kind == "id" \
+                            and ir.toks[i - 2].text in _DEFERRING_SINKS
+                        if stored or deferred:
+                            nm = sorted(captured)[0]
+                            how = ("submitted to a deferred executor"
+                                   if deferred else
+                                   "stored/returned, outliving the scope")
+                            yield (t.line,
+                                   f"lambda capturing workspace-arena "
+                                   f"matrix '{nm}' is {how} — the arena "
+                                   "slot is reclaimed before it runs")
+                    i = lam.body_end + 1
+                    continue
+            i += 1

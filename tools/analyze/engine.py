@@ -1,0 +1,913 @@
+"""Token/structural IR for the lncl static analysis suite (stdlib only).
+
+The checks in tools/analyze/checks/ operate on a deliberately small IR:
+
+  * a token stream (``Tok``) with line/column positions,
+  * bracket match maps over ``()``/``{}``/``[]``,
+  * a per-line comment map (suppression + fixture annotations), and
+  * structural helpers: lambda parsing, namespace-scope function-definition
+    discovery, statement/declaration walking, and write detection.
+
+Two frontends produce this IR (tools/analyze/frontends.py): the builtin
+lexer below (dependency-free, always available) and a clang.cindex lexer
+over the CMake-exported compile_commands.json. They are twins in the same
+sense as the scalar/SIMD GEMM kernels: the builtin frontend is the
+reference everyone can run; the clang frontend adds exact preprocessing
+and TU diagnostics when libclang is installed.
+
+The builtin lexer keeps only the *first* branch of every preprocessor
+conditional (#if/#ifdef/#ifndef ... #elif/#else ... #endif). Dropping the
+alternate branches keeps the brace structure balanced whenever each branch
+is internally balanced — true across this tree — which is what the
+structural layer needs; the alternate branches are twins of the kept code
+(scalar GEMM fallbacks, compiled-out audit macros) and are linted by the
+plain regex linter anyway.
+"""
+
+import os
+import re
+
+# ---------------------------------------------------------------------------
+# Tokens
+# ---------------------------------------------------------------------------
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind, text, line, col):
+        self.kind = kind  # 'id' | 'num' | 'str' | 'char' | 'punct'
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return f"Tok({self.kind},{self.text!r},L{self.line})"
+
+
+# Longest-match punctuation. '>>'/'<<' are fine unsplit: the IR never parses
+# template angle brackets.
+_PUNCTS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "{", "}", "(", ")", "[", "]", ";", ",", ".", "<", ">", "+", "-",
+    "*", "/", "%", "&", "|", "^", "!", "~", "=", "?", ":", "#",
+]
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+              ">>="}
+COMPOUND_ASSIGN_OPS = ASSIGN_OPS - {"="}
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_BODY = re.compile(r"[A-Za-z0-9_]")
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else",
+                    "return", "case", "default", "goto", "break", "continue"}
+TYPE_KEYWORDS = {
+    "auto", "void", "bool", "char", "short", "int", "long", "float",
+    "double", "unsigned", "signed", "size_t", "ssize_t", "int8_t", "int16_t",
+    "int32_t", "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "uintptr_t", "intptr_t", "wchar_t", "char32_t", "char16_t",
+}
+DECL_QUALIFIERS = {"const", "constexpr", "static", "thread_local", "mutable",
+                   "volatile", "register", "inline", "typename"}
+
+
+def _preprocess_lines(text):
+    """Returns (kept_line_flags, directive_line_flags).
+
+    Line-oriented pre-pass: marks preprocessor-directive lines (including
+    backslash continuations) so the lexer skips them, and drops every
+    non-first branch of conditional blocks (see module docstring).
+    """
+    lines = text.split("\n")
+    n = len(lines)
+    keep = [True] * n
+    directive = [False] * n
+    # Stack of booleans: is the current branch of each open conditional
+    # kept (first branch, and every enclosing branch kept too)?
+    cond_stack = []
+    i = 0
+    while i < n:
+        stripped = lines[i].lstrip()
+        is_directive = stripped.startswith("#")
+        j = i
+        if is_directive:
+            while j < n and lines[j].rstrip().endswith("\\"):
+                j += 1
+        if is_directive:
+            for k in range(i, j + 1):
+                directive[k] = True
+                keep[k] = False
+            word = stripped[1:].lstrip().split("(")[0].split()
+            word = word[0] if word else ""
+            if word in ("if", "ifdef", "ifndef"):
+                outer = cond_stack[-1] if cond_stack else True
+                cond_stack.append(outer)  # first branch: kept iff outer is
+            elif word in ("elif", "else"):
+                if cond_stack:
+                    cond_stack[-1] = False  # non-first branch: dropped
+            elif word == "endif":
+                if cond_stack:
+                    cond_stack.pop()
+        else:
+            if cond_stack and not cond_stack[-1]:
+                keep[i] = False
+        i = j + 1
+    return keep, directive
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(text, path="<buf>"):
+    """Builtin lexer. Returns (tokens, comments) where comments maps
+    line -> concatenated comment text on that line."""
+    keep, _ = _preprocess_lines(text)
+    lines = text.split("\n")
+    # Blank dropped lines so offsets/line numbers stay true.
+    src = "\n".join(l if keep[i] else "" for i, l in enumerate(lines))
+    toks = []
+    comments = {}
+
+    def add_comment(line, body):
+        comments[line] = (comments.get(line, "") + " " + body).strip()
+
+    i, n = 0, len(src)
+    line, col = 1, 1
+
+    def advance(k):
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and src[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = src[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if c == "/" and i + 1 < n:
+            if src[i + 1] == "/":
+                end = src.find("\n", i)
+                end = n if end == -1 else end
+                add_comment(line, src[i + 2:end].strip())
+                advance(end - i)
+                continue
+            if src[i + 1] == "*":
+                end = src.find("*/", i + 2)
+                if end == -1:
+                    raise LexError(f"{path}:{line}: unterminated /* comment")
+                add_comment(line, src[i + 2:end].strip())
+                advance(end + 2 - i)
+                continue
+        if c == "R" and src[i:i + 2] == 'R"':
+            m = re.match(r'R"([^()\\ ]{0,16})\(', src[i:])
+            if m:
+                delim = m.group(1)
+                close = ')' + delim + '"'
+                end = src.find(close, i + m.end())
+                if end == -1:
+                    raise LexError(f"{path}:{line}: unterminated raw string")
+                toks.append(Tok("str", src[i:end + len(close)], line, col))
+                advance(end + len(close) - i)
+                continue
+        if c == '"' or (c == "'" and not _is_digit_sep(src, i)):
+            q = c
+            j = i + 1
+            while j < n:
+                if src[j] == "\\":
+                    j += 2
+                    continue
+                if src[j] == q:
+                    break
+                if src[j] == "\n":
+                    break  # tolerate — never valid C++ but keep lexing
+                j += 1
+            toks.append(Tok("str" if q == '"' else "char",
+                            src[i:j + 1], line, col))
+            advance(j + 1 - i)
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            while j < n and (src[j].isalnum() or src[j] in "._'"
+                             or (src[j] in "+-" and src[j - 1] in "eEpP")):
+                j += 1
+            toks.append(Tok("num", src[i:j], line, col))
+            advance(j - i)
+            continue
+        if _ID_START.match(c):
+            j = i
+            while j < n and _ID_BODY.match(src[j]):
+                j += 1
+            toks.append(Tok("id", src[i:j], line, col))
+            advance(j - i)
+            continue
+        for p in _PUNCTS:
+            if src.startswith(p, i):
+                toks.append(Tok("punct", p, line, col))
+                advance(len(p))
+                break
+        else:
+            advance(1)  # unknown byte (e.g. stray backslash): skip
+    return toks, comments
+
+
+def _is_digit_sep(src, i):
+    # 1'000'000 digit separators: a ' directly between alnums.
+    return (i > 0 and src[i - 1].isalnum() and i + 1 < len(src)
+            and src[i + 1].isalnum())
+
+
+# ---------------------------------------------------------------------------
+# Structural layer
+# ---------------------------------------------------------------------------
+
+_OPEN = {"(": ")", "{": "}", "[": "]"}
+_CLOSE = {v: k for k, v in _OPEN.items()}
+
+
+def match_brackets(toks):
+    """Tolerant bracket matcher: open_idx -> close_idx and vice versa.
+    Mismatched tokens simply stay unmapped."""
+    match = {}
+    stack = []
+    for i, t in enumerate(toks):
+        if t.kind != "punct":
+            continue
+        if t.text in _OPEN:
+            stack.append(i)
+        elif t.text in _CLOSE:
+            want = _CLOSE[t.text]
+            # Pop until a matching opener (tolerates imbalance).
+            while stack:
+                j = stack.pop()
+                if toks[j].text == want:
+                    match[j] = i
+                    match[i] = j
+                    break
+    return match
+
+
+class Lambda:
+    def __init__(self, cap_begin, cap_end, params, body_begin, body_end,
+                 captures, default_capture, captures_this):
+        self.cap_begin = cap_begin            # index of '['
+        self.cap_end = cap_end                # index of ']'
+        self.params = params                  # [name, ...]
+        self.body_begin = body_begin          # index of '{'
+        self.body_end = body_end              # index of matching '}'
+        self.captures = captures              # {name: 'ref'|'val'}
+        self.default_capture = default_capture  # 'ref' | 'val' | None
+        self.captures_this = captures_this
+
+
+class FuncDef:
+    def __init__(self, name, qualname, ret_tokens, body_begin, body_end,
+                 anon_ns, line):
+        self.name = name              # last component, e.g. 'Infer'
+        self.qualname = qualname      # e.g. 'DawidSkene::Infer'
+        self.ret_tokens = ret_tokens  # list[str]
+        self.body_begin = body_begin
+        self.body_end = body_end
+        self.anon_ns = anon_ns
+        self.line = line
+
+
+class FileIR:
+    """Everything a check needs about one file."""
+
+    def __init__(self, path, relpath, toks, comments):
+        self.path = path
+        self.relpath = relpath
+        self.toks = toks
+        self.comments = comments
+        self.match = match_brackets(toks)
+
+    # -- token utilities ---------------------------------------------------
+
+    def text(self, i):
+        return self.toks[i].text
+
+    def find_ident(self, name, begin=0, end=None):
+        end = len(self.toks) if end is None else end
+        for i in range(begin, end):
+            t = self.toks[i]
+            if t.kind == "id" and t.text == name:
+                yield i
+
+    def call_args(self, open_paren):
+        """Splits the argument list of the '(' at open_paren into top-level
+        comma-separated (begin, end) token index ranges."""
+        close = self.match.get(open_paren)
+        if close is None:
+            return []
+        args = []
+        depth = 0
+        start = open_paren + 1
+        for i in range(open_paren + 1, close):
+            t = self.toks[i]
+            if t.kind == "punct":
+                if t.text in _OPEN:
+                    depth += 1
+                elif t.text in _CLOSE:
+                    depth -= 1
+                elif t.text == "," and depth == 0:
+                    args.append((start, i))
+                    start = i + 1
+        if start < close:
+            args.append((start, close))
+        return args
+
+    # -- lambdas -----------------------------------------------------------
+
+    def parse_lambda(self, i):
+        """Parses a lambda whose '[' is at token i. Returns Lambda or None."""
+        toks = self.toks
+        if toks[i].text != "[":
+            return None
+        if i > 0:
+            prev = toks[i - 1]
+            if prev.kind in ("id", "num") or prev.text in ("]", ")"):
+                return None  # subscript (`x[i]`), not a lambda introducer
+        cap_end = self.match.get(i)
+        if cap_end is None:
+            return None
+        captures = {}
+        default_capture = None
+        captures_this = False
+        j = i + 1
+        while j < cap_end:
+            t = toks[j]
+            if t.text == "&":
+                if j + 1 < cap_end and toks[j + 1].kind == "id":
+                    captures[toks[j + 1].text] = "ref"
+                    j += 2
+                    continue
+                default_capture = "ref"
+            elif t.text == "=":
+                default_capture = "val"
+            elif t.text == "this":
+                captures_this = True
+            elif t.kind == "id":
+                captures[t.text] = "val"
+            j += 1
+        # Optional parameter list.
+        params = []
+        j = cap_end + 1
+        if j < len(toks) and toks[j].text == "(":
+            close = self.match.get(j)
+            if close is None:
+                return None
+            for begin, end in self.call_args(j):
+                # Parameter name: last non-type identifier of the declarator.
+                name = None
+                for k in range(end - 1, begin - 1, -1):
+                    if toks[k].kind == "id":
+                        name = toks[k].text
+                        if name not in TYPE_KEYWORDS \
+                                and name not in DECL_QUALIFIERS:
+                            break
+                if name:
+                    params.append(name)
+            j = close + 1
+        # Skip specifiers (mutable, noexcept, -> ret) until the body brace.
+        while j < len(toks) and toks[j].text != "{":
+            if toks[j].text in (";", ")", "]", "}"):
+                return None
+            j += 1
+        if j >= len(toks):
+            return None
+        body_end = self.match.get(j)
+        if body_end is None:
+            return None
+        return Lambda(i, cap_end, params, j, body_end, captures,
+                      default_capture, captures_this)
+
+    # -- namespace-scope function definitions -------------------------------
+
+    def function_defs(self):
+        """Discovers out-of-line function definitions, skipping their
+        bodies. Tracks namespace nesting (incl. anonymous namespaces)."""
+        toks = self.toks
+        defs = []
+        ns_stack = []  # (close_idx, is_anon)
+        stmt_start = 0
+        i = 0
+        while i < len(toks):
+            # Retire namespaces whose closing brace we've passed.
+            while ns_stack and i > ns_stack[-1][0]:
+                ns_stack.pop()
+            t = toks[i]
+            if t.kind == "punct" and t.text in (";",):
+                stmt_start = i + 1
+                i += 1
+                continue
+            if t.kind == "punct" and t.text == "{":
+                close = self.match.get(i)
+                if close is None:
+                    i += 1
+                    stmt_start = i
+                    continue
+                lead = toks[stmt_start:i]
+                kinds = self._classify_brace(lead)
+                if kinds == "namespace":
+                    is_anon = not any(x.kind == "id" and x.text != "namespace"
+                                      for x in lead)
+                    ns_stack.append((close, is_anon))
+                    i += 1
+                    stmt_start = i
+                    continue
+                if kinds == "function":
+                    fd = self._parse_funcdef(stmt_start, i, close,
+                                             any(a for _, a in ns_stack))
+                    if fd is not None:
+                        defs.append(fd)
+                    i = close + 1
+                    stmt_start = i
+                    continue
+                # class/struct/initializer/other: descend.
+                i += 1
+                stmt_start = i
+                continue
+            if t.kind == "punct" and t.text == "}":
+                i += 1
+                stmt_start = i
+                continue
+            i += 1
+        return defs
+
+    def _classify_brace(self, lead):
+        texts = [t.text for t in lead]
+        if "namespace" in texts:
+            return "namespace"
+        if not lead:
+            return "other"
+        for kw in ("class", "struct", "enum", "union"):
+            if kw in texts:
+                # `struct X {` with no parens is a type; `X foo(struct ...)`
+                # never occurs at namespace scope in this tree.
+                if "(" not in texts:
+                    return "type"
+        if texts and texts[0] in CONTROL_KEYWORDS:
+            return "control"
+        if "=" in texts and "(" not in texts[:texts.index("=")]:
+            return "init"
+        # function: declarator parens present and balanced just before
+        # (allowing const/noexcept/override/final/-> trailing).
+        if ")" in texts:
+            return "function"
+        return "other"
+
+    def _parse_funcdef(self, stmt_start, brace, close, anon_ns):
+        toks = self.toks
+        # Find the declarator '(' : the one matching the last ')' before any
+        # trailing specifiers.
+        j = brace - 1
+        # skip member-init lists: walk back to the ')' that closes the
+        # parameter list. Strategy: find the first '(' after stmt_start whose
+        # preceding token is an identifier that is not a control keyword and
+        # whose match exists.
+        open_paren = None
+        name_idx = None
+        k = stmt_start
+        while k < brace:
+            t = toks[k]
+            if t.kind == "punct" and t.text == "(" and k > stmt_start:
+                prev = toks[k - 1]
+                if prev.kind == "id" and prev.text not in CONTROL_KEYWORDS \
+                        and prev.text not in ("operator",):
+                    open_paren = k
+                    name_idx = k - 1
+                    break
+                if prev.kind == "punct" and prev.text in (">", "&", "*"):
+                    # e.g. conversion/operator forms: skip this file's def.
+                    return None
+            k += 1
+        if open_paren is None or self.match.get(open_paren) is None:
+            return None
+        name = toks[name_idx].text
+        if name in DECL_QUALIFIERS or name in TYPE_KEYWORDS:
+            return None
+        # Qualified name: walk back over `X::` pairs.
+        qual = [name]
+        q = name_idx - 1
+        while q - 1 >= stmt_start and toks[q].text == "::" \
+                and toks[q - 1].kind == "id":
+            qual.insert(0, toks[q - 1].text)
+            q -= 2
+        ret_tokens = [t.text for t in toks[stmt_start:q + 1]]
+        if ret_tokens and ret_tokens[0] == "template":
+            # strip template intro `template < ... >`
+            try:
+                gt = ret_tokens.index(">")
+                ret_tokens = ret_tokens[gt + 1:]
+            except ValueError:
+                pass
+        return FuncDef(name, "::".join(qual), ret_tokens, brace, close,
+                       anon_ns, toks[name_idx].line)
+
+    # -- statements, declarations, writes ------------------------------------
+
+    def statements(self, begin, end):
+        """Yields (stmt_begin, stmt_end_exclusive) ranges inside a body,
+        recursing into compound statements; `for(...)`/`if(...)` headers are
+        yielded as their own ranges."""
+        out = []
+
+        def walk(b, e):
+            i = b
+            start = b
+            while i < e:
+                t = self.toks[i]
+                if t.kind == "punct" and t.text == "{":
+                    close = self.match.get(i)
+                    if close is None or close > e:
+                        i += 1
+                        continue
+                    if start < i:
+                        out.append((start, i))
+                    walk(i + 1, close)
+                    i = close + 1
+                    start = i
+                    continue
+                if t.kind == "punct" and t.text in ("(",):
+                    close = self.match.get(i)
+                    if close is None or close > e:
+                        i += 1
+                        continue
+                    i = close + 1
+                    continue
+                if t.kind == "punct" and t.text == ";":
+                    if start < i:
+                        out.append((start, i))
+                    start = i + 1
+                i += 1
+            if start < e:
+                out.append((start, e))
+
+        walk(begin, end)
+        return out
+
+    def local_decls(self, begin, end):
+        """Declaration scan over a body range. Returns
+        {name: (init_begin, init_end, is_ref)} — heuristic, tuned to repo
+        style (see tools/analyze fixtures for the pinned contract)."""
+        decls = {}
+        toks = self.toks
+
+        def scan_decl_range(b, e, *, loop_header=False):
+            # lead = tokens to the first top-level '=', ';', '(', '[' or ':'
+            lead_end = None
+            lead_stop = None
+            depth = 0
+            for i in range(b, e):
+                t = toks[i]
+                if t.kind == "punct":
+                    if t.text in _OPEN:
+                        if t.text == "(" and lead_end is None:
+                            lead_end, lead_stop = i, "("
+                            break
+                        if t.text == "[" and lead_end is None:
+                            # `auto [a, b] = ...` structured binding or
+                            # array declarator
+                            lead_end, lead_stop = i, "["
+                            break
+                        depth += 1
+                    elif t.text in _CLOSE:
+                        depth -= 1
+                    elif depth == 0 and t.text in ("=", ":", ";"):
+                        lead_end, lead_stop = i, t.text
+                        break
+                    elif depth == 0 and t.text in COMPOUND_ASSIGN_OPS:
+                        return  # `x += ...` is a write, not a decl
+            if lead_end is None:
+                lead_end, lead_stop = e, None
+            lead = toks[b:lead_end]
+            if not _looks_like_decl(lead):
+                return
+            is_ref = any(t.text == "&" for t in lead)
+            if lead_stop == "[" and any(t.text == "auto" for t in lead):
+                # structured binding: auto [a, b] = init
+                close = self.match.get(lead_end)
+                if close is None:
+                    return
+                names = [t.text for t in toks[lead_end + 1:close]
+                         if t.kind == "id"]
+                init_b = close + 1
+                for nm in names:
+                    decls[nm] = (init_b, e, is_ref)
+                return
+            # declared name: last identifier in lead not a keyword
+            name_idx = None
+            for k in range(len(lead) - 1, -1, -1):
+                t = lead[k]
+                if t.kind == "id" and t.text not in DECL_QUALIFIERS \
+                        and t.text not in TYPE_KEYWORDS:
+                    name_idx = k
+                    break
+            if name_idx is None:
+                return
+            name = lead[name_idx].text
+            if name in CONTROL_KEYWORDS:
+                return
+            # The name needs an actual type in front of it: a bare
+            # `Func(args);` or qualified `ns::Func(args);` statement is a
+            # call expression, not a constructor-style declaration.
+            pre = lead[:name_idx]
+            if not pre or pre[-1].text == "::":
+                return
+            if lead_stop == "[":
+                # array declarator `double x[k] = {...}`
+                close = self.match.get(lead_end)
+                init_b = (close + 1) if close is not None else e
+                decls[name] = (init_b, e, is_ref)
+                return
+            if lead_stop in ("=", "("):
+                decls[name] = (lead_end + 1, e, is_ref)
+            elif lead_stop == ":" and loop_header:
+                decls[name] = (lead_end + 1, e, is_ref)
+            elif lead_stop in (";", None):
+                decls[name] = (lead_end, lead_end, is_ref)
+
+        i = begin
+        while i < end:
+            t = toks[i]
+            if t.kind == "id" and t.text == "for" and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                close = self.match.get(i + 1)
+                if close is not None and close <= end:
+                    inner_b, inner_e = i + 2, close
+                    # range-for: top-level ':' splits decl : range
+                    colon = None
+                    depth = 0
+                    semi = None
+                    for k in range(inner_b, inner_e):
+                        tk = toks[k]
+                        if tk.kind != "punct":
+                            continue
+                        if tk.text in _OPEN:
+                            depth += 1
+                        elif tk.text in _CLOSE:
+                            depth -= 1
+                        elif depth == 0 and tk.text == ":" and colon is None:
+                            colon = k
+                        elif depth == 0 and tk.text == ";" and semi is None:
+                            semi = k
+                    if semi is not None:
+                        scan_decl_range(inner_b, semi)
+                    elif colon is not None:
+                        scan_decl_range(inner_b, inner_e, loop_header=True)
+                    i = close + 1
+                    continue
+            i += 1
+        # plain statements
+        for b, e in self.statements(begin, end):
+            scan_decl_range(b, e)
+        return decls
+
+    def writes(self, begin, end, mutators):
+        """Scans [begin, end) for mutation sites. Yields dicts:
+          {kind: 'assign'|'incdec'|'call'|'addr',
+           base: str, line: int, lhs: (b, e), indices: [(b, e), ...]}
+        `indices` are the token ranges of every [...]/(...) group attached
+        to the written postfix chain (slot-index candidates)."""
+        toks = self.toks
+        out = []
+        i = begin
+        while i < end:
+            t = toks[i]
+            if t.kind == "punct" and t.text in ASSIGN_OPS:
+                # Exclude declaration initializers: handled by caller via
+                # local_decls; here we still record them — callers subtract
+                # declared names at the same line when needed. To keep the
+                # contract simple we skip assignments whose LHS chain start
+                # looks like a declaration lead.
+                lhs_b = self._lhs_begin(i, begin)
+                if lhs_b is not None and not self._is_decl_context(lhs_b, i):
+                    base, indices = self._chain_info(lhs_b, i)
+                    if base is not None:
+                        out.append({"kind": "assign", "base": base,
+                                    "line": toks[i].line,
+                                    "lhs": (lhs_b, i), "indices": indices,
+                                    "rhs": (i + 1, self._stmt_end(i, end))})
+                i += 1
+                continue
+            if t.kind == "punct" and t.text in ("++", "--"):
+                # adjacent identifier chain (prefix or postfix)
+                tgt = None
+                if i + 1 < end and toks[i + 1].kind == "id":
+                    tgt = i + 1
+                elif i - 1 >= begin and (toks[i - 1].kind == "id"
+                                         or toks[i - 1].text in ("]", ")")):
+                    tgt = self._lhs_begin(i, begin)
+                if tgt is not None:
+                    base, indices = self._chain_info(tgt, i) \
+                        if tgt < i else (toks[tgt].text, [])
+                    if base is not None:
+                        out.append({"kind": "incdec", "base": base,
+                                    "line": t.line, "lhs": (tgt, i),
+                                    "indices": indices, "rhs": (i, i)})
+                i += 1
+                continue
+            if t.kind == "punct" and t.text in (".", "->") \
+                    and i + 2 < end and toks[i + 1].kind == "id" \
+                    and toks[i + 1].text in mutators \
+                    and toks[i + 2].text == "(":
+                lhs_b = self._lhs_begin(i, begin)
+                if lhs_b is not None:
+                    base, indices = self._chain_info(lhs_b, i)
+                    if base is not None:
+                        out.append({"kind": "call", "base": base,
+                                    "line": t.line, "lhs": (lhs_b, i),
+                                    "indices": indices,
+                                    "method": toks[i + 1].text,
+                                    "rhs": (i + 2, self.match.get(i + 2,
+                                                                  i + 2))})
+                i += 1
+                continue
+            if t.kind == "punct" and t.text == "&" and i + 1 < end \
+                    and toks[i + 1].kind == "id" and i - 1 >= begin \
+                    and toks[i - 1].text in ("(", ","):
+                # absorb the postfix chain: `&a.b[i]` exposes `[i]` as an
+                # index so slot-partitioned address-of reads stay quiet
+                j = i + 1
+                indices = []
+                while j + 1 < end:
+                    nt = toks[j + 1]
+                    if nt.kind == "punct" and nt.text in (".", "->", "::") \
+                            and j + 2 < end and toks[j + 2].kind == "id":
+                        j += 2
+                        continue
+                    if nt.kind == "punct" and nt.text == "[":
+                        close = self.match.get(j + 1)
+                        if close is None or close >= end:
+                            break
+                        indices.append((j + 2, close))
+                        j = close
+                        continue
+                    break
+                out.append({"kind": "addr", "base": toks[i + 1].text,
+                            "line": t.line, "lhs": (i + 1, j + 1),
+                            "indices": indices, "rhs": (i + 1, j + 1)})
+                i += 1
+                continue
+            i += 1
+        return out
+
+    def _stmt_end(self, i, end):
+        depth = 0
+        for k in range(i, end):
+            t = self.toks[k]
+            if t.kind != "punct":
+                continue
+            if t.text in _OPEN:
+                depth += 1
+            elif t.text in _CLOSE:
+                if depth == 0:
+                    return k
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                return k
+        return end
+
+    def _lhs_begin(self, op_idx, floor):
+        """Walks backward from an operator over a postfix chain
+        (identifiers, ::, ., ->, matched []/() groups, a leading * or
+        parenthesized deref). Returns chain start index or None."""
+        toks = self.toks
+        i = op_idx - 1
+        saw_any = False
+        while i >= floor:
+            t = toks[i]
+            if t.kind == "punct" and t.text in ("]", ")"):
+                j = self.match.get(i)
+                if j is None or j < floor:
+                    return None
+                i = j - 1
+                saw_any = True
+                continue
+            if t.kind == "id":
+                saw_any = True
+                # keep absorbing `X::` / `a.` / `p->` to the left
+                if i - 1 >= floor and toks[i - 1].kind == "punct" \
+                        and toks[i - 1].text in ("::", ".", "->"):
+                    i -= 2
+                    continue
+                # leading deref `*p` → absorb the star
+                if i - 1 >= floor and toks[i - 1].text == "*":
+                    prev2 = toks[i - 2] if i - 2 >= floor else None
+                    if prev2 is None or prev2.kind == "punct" and \
+                            prev2.text in ("(", ",", ";", "{", "}", "="):
+                        i -= 1
+                return i
+            return i + 1 if saw_any else None
+        return floor if saw_any else None
+
+    def _is_decl_context(self, lhs_b, op_idx):
+        """True when tokens immediately before the LHS look like a type
+        (declaration with initializer, not a write)."""
+        toks = self.toks
+        j = lhs_b - 1
+        seen_type = False
+        while j >= 0:
+            t = toks[j]
+            if t.kind == "punct" and t.text in (";", "{", "}", "(", ","):
+                break
+            if t.kind == "punct" and t.text in ("&", "*", "::", "<", ">",
+                                                "[", "]"):
+                j -= 1
+                continue
+            if t.kind == "id":
+                seen_type = True
+                j -= 1
+                continue
+            return False
+        return seen_type
+
+    def _chain_info(self, chain_b, chain_e):
+        """Base identifier + index-group ranges of the postfix chain in
+        [chain_b, chain_e)."""
+        toks = self.toks
+        base = None
+        indices = []
+        i = chain_b
+        while i < chain_e:
+            t = toks[i]
+            if t.kind == "id":
+                if base is None:
+                    # Base is the last component of a qualified `A::B` name
+                    # but the first of a member chain `a.b.c`.
+                    j = i
+                    base = t.text
+                    while j + 1 < chain_e and toks[j + 1].text == "::":
+                        j += 2
+                        if j < chain_e and toks[j].kind == "id":
+                            base = toks[j].text
+                    i = j
+            elif t.kind == "punct" and t.text == "*" and base is None:
+                pass  # leading deref: `*out = ...`
+            elif t.kind == "punct" and t.text in ("[", "("):
+                close = self.match.get(i)
+                if close is None or close > chain_e:
+                    break
+                if base is None:
+                    # Parenthesized deref head: `(*ptr)[...]` — resolve the
+                    # base inside the group, the group is not an index.
+                    inner_base, _ = self._chain_info(i + 1, close)
+                    base = inner_base
+                else:
+                    indices.append((i + 1, close))
+                i = close
+            i += 1
+        return base, indices
+
+
+def _looks_like_decl(lead):
+    """Heuristic: does this statement lead declare a variable?"""
+    if not lead:
+        return False
+    texts = [t.text for t in lead]
+    if texts[0] in CONTROL_KEYWORDS or texts[0] == "return":
+        return False
+    for t in lead:
+        if t.kind == "punct" and t.text in (".", "->", "!", "=="):
+            return False
+    ids = [t for t in lead if t.kind == "id"]
+    if any(t.text in TYPE_KEYWORDS or t.text in DECL_QUALIFIERS
+           for t in ids):
+        return True
+    if "::" in texts:
+        return True
+    # Two adjacent plain identifiers: `Foo bar`
+    for a, b in zip(lead, lead[1:]):
+        if a.kind == "id" and b.kind == "id" \
+                and a.text not in CONTROL_KEYWORDS:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+SUPPRESS_RE = re.compile(
+    r"lncl-analyze:\s*allow\(([\w-]+)\)\s*(?:--\s*(\S.*))?")
+
+
+def suppression_for(ir, line, check):
+    """Looks for an `lncl-analyze: allow(<check>)` comment on the finding's
+    line or the line above. Returns (present, justified)."""
+    for ln in (line, line - 1):
+        body = ir.comments.get(ln)
+        if not body:
+            continue
+        for m in SUPPRESS_RE.finditer(body):
+            if m.group(1) == check:
+                return True, bool(m.group(2))
+    return False, False

@@ -1,0 +1,23 @@
+// fixture-path: src/inference/audit_coverage_bad.cc
+// Positive cases for the audit-coverage check: public probability
+// producers with no LNCL_AUDIT_* contract and no audited callee.
+#include "inference/truth_inference.h"
+#include "util/check.h"
+
+namespace lncl::inference {
+
+std::vector<util::Matrix> NoisyBayes::Infer(const crowd::AnnotationSet& annotations, const std::vector<int>& items, util::Rng* rng) const {  // EXPECT: audit-coverage
+  std::vector<util::Matrix> q(items.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    q[i] = Normalize(annotations, static_cast<int>(i), rng);
+  }
+  return q;
+}
+
+util::Matrix ComputeQPrior(int k) {  // EXPECT: audit-coverage
+  util::Matrix prior(1, k);
+  prior.Fill(1.0f / static_cast<float>(k));
+  return prior;
+}
+
+}  // namespace lncl::inference

@@ -1,0 +1,41 @@
+// fixture-path: src/inference/audit_coverage_ok.cc
+// Negative cases for the audit-coverage check: a direct LNCL_AUDIT_*
+// contract, delegation to an audited callee, internal (anonymous
+// namespace) helpers, and non-producer functions.
+#include "inference/truth_inference.h"
+#include "util/check.h"
+
+namespace lncl::inference {
+
+namespace {
+
+// Internal helper: not public API, exempt even though it shapes rows.
+util::Matrix ComputeQScratch(int k) {
+  util::Matrix q(1, k);
+  q.Fill(1.0f / static_cast<float>(k));
+  return q;
+}
+
+}  // namespace
+
+util::Matrix ComputeQUniform(int k) {
+  util::Matrix q = ComputeQScratch(k);
+  LNCL_AUDIT_SIMPLEX(q);
+  return q;
+}
+
+std::vector<util::Matrix> NoisyBayes::Infer(const crowd::AnnotationSet& annotations, const std::vector<int>& items, util::Rng* rng) const {
+  (void)annotations;
+  (void)rng;
+  std::vector<util::Matrix> q(items.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    q[i] = ComputeQUniform(items[static_cast<int>(i)]);  // audited callee
+  }
+  return q;
+}
+
+double NoisyBayes::Score(const util::Matrix& q) const {
+  return static_cast<double>(q(0, 0));
+}
+
+}  // namespace lncl::inference

@@ -1,0 +1,40 @@
+// fixture-path: src/nn/determinism_bad.cc
+// Positive cases for the determinism check: raw entropy sources outside
+// src/util/rng.*, and order-sensitive folds over unordered containers.
+#include <random>
+#include <unordered_map>
+
+namespace lncl::nn {
+
+int RawEntropy() {
+  std::random_device rd;              // EXPECT: determinism
+  std::mt19937 gen(rd());             // EXPECT: determinism
+  int x = rand();                     // EXPECT: determinism
+  srand(42);                          // EXPECT: determinism
+  return x + static_cast<int>(gen());
+}
+
+class FeatureTable {
+ public:
+  double Fold() const;
+  void Flatten(std::vector<int>* out) const;
+
+ private:
+  std::unordered_map<std::string, double> weights_;
+};
+
+double FeatureTable::Fold() const {
+  double total = 0.0;
+  for (const auto& kv : weights_) {
+    total += kv.second;  // EXPECT: determinism
+  }
+  return total;
+}
+
+void FeatureTable::Flatten(std::vector<int>* out) const {
+  for (const auto& kv : weights_) {
+    out->push_back(static_cast<int>(kv.second));  // EXPECT: determinism
+  }
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,56 @@
+// fixture-path: src/nn/determinism_ok.cc
+// Negative cases for the determinism check: ordered-container folds,
+// unordered iteration that only touches loop-locals, the seeded util::Rng,
+// and the sanctioned collect-then-sort pattern under a justified waiver.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lncl::nn {
+
+class FeatureTable {
+ public:
+  double OrderedFold() const;
+  double LocalOnly() const;
+  std::vector<std::string> SortedKeys() const;
+  int Draw(util::Rng* rng) const;
+
+ private:
+  std::map<std::string, double> ordered_;
+  std::unordered_map<std::string, double> weights_;
+};
+
+double FeatureTable::OrderedFold() const {
+  double total = 0.0;
+  for (const auto& kv : ordered_) {
+    total += kv.second;  // std::map iterates in key order: deterministic
+  }
+  return total;
+}
+
+double FeatureTable::LocalOnly() const {
+  double best = 0.0;
+  for (const auto& kv : weights_) {
+    const double scaled = kv.second * 2.0;
+    double tmp = scaled;
+    tmp += 1.0;
+  }
+  return best;
+}
+
+std::vector<std::string> FeatureTable::SortedKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& kv : weights_) {
+    keys.push_back(kv.first);  // lncl-analyze: allow(determinism) -- keys are sorted on the next line, erasing iteration order
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+int FeatureTable::Draw(util::Rng* rng) const {
+  return rng->UniformInt(0, 10);
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,39 @@
+// fixture-path: src/nn/slot_race_bad.cc
+// Positive cases for the slot-race check: writes through by-reference
+// captures inside RunSlots lambdas that are NOT slot-indexed.
+#include "util/threadpool.h"
+
+namespace lncl::nn {
+
+void SharedAccumulator(util::Parallelizer* exec, int n) {
+  double total = 0.0;
+  std::vector<int> out;
+  exec->RunSlots(util::Parallelizer::kSlots, [&](int s) {
+    const auto [b, e] = util::Parallelizer::SlotRange(
+        n, s, util::Parallelizer::kSlots);
+    for (int i = b; i < e; ++i) {
+      total += static_cast<double>(i);  // EXPECT: slot-race
+      out.push_back(i);                 // EXPECT: slot-race
+    }
+  });
+}
+
+void SharedCounterAndEscape(util::Parallelizer* exec, std::vector<int>* acc) {
+  int hits = 0;
+  exec->RunSlots(4, [&](int s) {
+    (void)s;
+    ++hits;          // EXPECT: slot-race
+  });
+  exec->RunSlots(4, [&acc, &hits](int slot) {
+    (void)slot;
+    acc->clear();    // EXPECT: slot-race
+    Take(&hits);     // EXPECT: slot-race
+  });
+}
+
+void NamedCallable(util::Parallelizer* exec,
+                   const std::function<void(int)>& fn) {
+  exec->RunSlots(4, fn);  // EXPECT: slot-race
+}
+
+}  // namespace lncl::nn

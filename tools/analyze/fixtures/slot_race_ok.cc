@@ -1,0 +1,61 @@
+// fixture-path: src/nn/slot_race_ok.cc
+// Negative cases for the slot-race check: the repo's sanctioned patterns
+// (per-slot buffers indexed by the slot parameter, SlotRange-derived
+// indices, slot-local aliases, locals, by-value captures) plus one
+// justified escape hatch.
+#include "util/threadpool.h"
+
+namespace lncl::nn {
+
+void SlotIndexedReduction(util::Parallelizer* exec, int n,
+                          std::vector<double>* qf) {
+  constexpr int kSlots = util::Parallelizer::kSlots;
+  double slot_loss[kSlots] = {0.0};
+  std::vector<std::vector<double>> acc(kSlots);
+  exec->RunSlots(kSlots, [&](int s) {
+    const auto [b, e] = util::Parallelizer::SlotRange(n, s, kSlots);
+    acc[s].assign(4, 0.0);
+    std::vector<double>& mine = acc[s];
+    double local = 0.0;
+    for (int i = b; i < e; ++i) {
+      const int pos = i + 1;
+      local += static_cast<double>(pos);
+      mine.push_back(local);
+      (*qf)[i] = local;
+      slot_loss[s] += local;
+    }
+  });
+}
+
+void AddressOfSlotIndexedElement(util::Parallelizer* exec, int n,
+                                 const std::vector<float>& pool) {
+  exec->RunSlots(util::Parallelizer::kSlots, [&](int s) {
+    const auto [b, e] = util::Parallelizer::SlotRange(
+        n, s, util::Parallelizer::kSlots);
+    std::vector<const float*> xs;  // slot-local collector
+    for (int i = b; i < e; ++i) {
+      xs.push_back(&pool[i]);  // &elem at a SlotRange-derived index: a read
+    }
+    Consume(xs);
+  });
+}
+
+void ValueCaptureIsACopy(util::Parallelizer* exec, int seed) {
+  exec->RunSlots(4, [seed](int s) mutable {
+    seed += s;
+    std::vector<int> scratch;
+    scratch.push_back(seed);
+  });
+}
+
+void JustifiedEscapeHatch(util::Parallelizer* exec, Histogram* shared) {
+  exec->RunSlots(4, [&](int s) {
+    (void)s;
+    // Histogram::Record is internally sharded per thread and merged in a
+    // fixed order, so concurrent non-slot-indexed writes stay
+    // deterministic (see src/obs/metrics.h).
+    shared->insert(0);  // lncl-analyze: allow(slot-race) -- Histogram insert is per-thread sharded, fixed-order merged
+  });
+}
+
+}  // namespace lncl::nn

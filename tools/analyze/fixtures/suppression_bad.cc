@@ -1,0 +1,19 @@
+// fixture-path: src/nn/suppression_bad.cc
+// Positive cases for the suppression policy: every allow() must name a
+// known check and carry a `-- <reason>` justification.
+#include <unordered_map>
+
+namespace lncl::nn {
+
+double Fold(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;  // lncl-analyze: allow(determinism) EXPECT: bad-suppression
+  }
+  return total;
+}
+
+// lncl-analyze: allow(slot-races) -- plural is not a check name, EXPECT: bad-suppression
+void Stub() {}
+
+}  // namespace lncl::nn

@@ -1,0 +1,17 @@
+// fixture-path: src/nn/suppression_ok.cc
+// Negative case for the suppression policy: a justified allow() names a
+// known check, silences the finding on its line, and reports nothing.
+#include <unordered_map>
+
+namespace lncl::nn {
+
+double Fold(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    // lncl-analyze: allow(determinism) -- addition is proven order-insensitive in this fixture's imaginary world
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace lncl::nn

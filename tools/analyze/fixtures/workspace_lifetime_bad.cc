@@ -1,0 +1,54 @@
+// fixture-path: src/nn/workspace_lifetime_bad.cc
+// Positive cases for the workspace-lifetime check: arena storage escaping
+// its acquiring scope via return, member store, or an outliving lambda.
+#include <functional>
+
+#include "util/workspace.h"
+
+namespace lncl::nn {
+
+util::Matrix& DanglingReference() {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(4, 4);
+  return m;  // EXPECT: workspace-lifetime
+}
+
+const float* DanglingPointer() {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(4, 4);
+  return m.data();  // EXPECT: workspace-lifetime
+}
+
+class Cache {
+ public:
+  void Fill();
+  void FillPointer();
+  void Defer(util::ThreadPool* pool);
+
+ private:
+  float* data_ = nullptr;
+  util::Matrix* scratch_ = nullptr;
+  std::function<void()> deferred_ = nullptr;
+};
+
+void Cache::Fill() {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(8, 8);
+  scratch_ = &m;  // EXPECT: workspace-lifetime
+}
+
+void Cache::FillPointer() {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(8, 8);
+  float* p = m.data();
+  data_ = p;  // EXPECT: workspace-lifetime
+}
+
+void Cache::Defer(util::ThreadPool* pool) {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(2, 2);
+  deferred_ = [&] { Touch(m); };  // EXPECT: workspace-lifetime
+  pool->Submit([&] { Touch(m); });  // EXPECT: workspace-lifetime
+}
+
+}  // namespace lncl::nn

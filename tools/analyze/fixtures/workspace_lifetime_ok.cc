@@ -1,0 +1,61 @@
+// fixture-path: src/nn/workspace_lifetime_ok.cc
+// Negative cases for the workspace-lifetime check: scope-local use,
+// value copies out, and lambdas that run before the scope dies.
+#include "util/threadpool.h"
+#include "util/workspace.h"
+
+namespace lncl::nn {
+
+util::Matrix CopyOutIsFine(int rows, int cols) {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(rows, cols);
+  m.Fill(0.0f);
+  util::Matrix owned = m;
+  return owned;  // by-value: the arena contents are copied out
+}
+
+float ScopeLocalUse() {
+  util::WorkspaceScope scope;
+  util::Matrix& a = scope.NewMatrix(4, 4);
+  util::Matrix& b = scope.NewMatrix(4, 4);
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  float total = 0.0f;
+  for (int i = 0; i < 4; ++i) {
+    total += a(i, i) + b(i, i);
+  }
+  return total;
+}
+
+class Packer {
+ public:
+  void Pack(const util::Matrix& in);
+
+ private:
+  util::Matrix packed_;  // owned storage: copies are fine
+};
+
+void Packer::Pack(const util::Matrix& in) {
+  util::WorkspaceScope scope;
+  util::Matrix& staging = scope.NewMatrix(in.rows(), in.cols());
+  staging.Fill(0.5f);
+  packed_ = staging;  // value copy into owned member storage
+}
+
+void ImmediateLambdaIsFine(util::Parallelizer* exec) {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(8, util::Parallelizer::kSlots);
+  exec->RunSlots(util::Parallelizer::kSlots,
+                 [&](int s) { m(0, s) = static_cast<float>(s); });
+}
+
+float ScopeLocalLambdaIsFine(const util::Matrix& in) {
+  util::WorkspaceScope scope;
+  util::Matrix& m = scope.NewMatrix(in.rows(), in.cols());
+  // A lambda held in a scope-local dies with the arena scope: no escape.
+  auto fill = [&](float v) { m.Fill(v); };
+  fill(0.25f);
+  return m(0, 0);
+}
+
+}  // namespace lncl::nn

@@ -1,0 +1,143 @@
+"""Frontends producing the engine.FileIR token stream.
+
+``BuiltinFrontend``   dependency-free lexer (engine.lex). Always available;
+                      the reference frontend, like the scalar GEMM twin.
+``ClangFrontend``     clang.cindex over the CMake-exported
+                      compile_commands.json. Exact preprocessing + TU
+                      diagnostics. Requires the libclang python bindings;
+                      the library lookup is PINNED (ordered candidate list
+                      below, overridable with LNCL_LIBCLANG) so two machines
+                      with several LLVM installs resolve the same library.
+
+select_frontend('auto') prefers clang when importable and falls back to the
+builtin frontend with a one-line note — the analyze step must never go
+silent just because libclang is missing (same policy as the clang-format
+gate in scripts/lint.sh).
+"""
+
+import json
+import os
+
+from engine import FileIR, lex
+
+# Pinned, ordered libclang lookup. First hit wins; keep newest-first so a
+# deliberate upgrade is a one-line diff here rather than an ambient change.
+LIBCLANG_CANDIDATES = [
+    "/usr/lib/llvm-18/lib/libclang.so.1",
+    "/usr/lib/llvm-17/lib/libclang.so.1",
+    "/usr/lib/llvm-16/lib/libclang.so.1",
+    "/usr/lib/llvm-15/lib/libclang.so.1",
+    "/usr/lib/llvm-14/lib/libclang.so.1",
+    "/usr/lib/llvm-14/lib/libclang-14.so.1",
+    "/usr/lib/x86_64-linux-gnu/libclang-14.so.1",
+]
+
+
+class BuiltinFrontend:
+    name = "builtin"
+
+    def parse(self, path, relpath, compile_args=None):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        toks, comments = lex(text, path)
+        return FileIR(path, relpath, toks, comments)
+
+
+class ClangUnavailable(Exception):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # noqa: deferred, optional dependency
+    except ImportError as e:
+        raise ClangUnavailable(f"clang.cindex not importable ({e})")
+    if not cindex.Config.loaded:
+        override = os.environ.get("LNCL_LIBCLANG")
+        candidates = [override] if override else LIBCLANG_CANDIDATES
+        lib = next((c for c in candidates if c and os.path.exists(c)), None)
+        if lib is None:
+            raise ClangUnavailable(
+                "no libclang shared library found (set LNCL_LIBCLANG)")
+        cindex.Config.set_library_file(lib)
+    return cindex
+
+
+class ClangFrontend:
+    """Lexes through libclang so macro bodies, skipped #if branches, and
+    disabled code regions are resolved by a real preprocessor. The token
+    stream then feeds the same structural checks as the builtin frontend."""
+
+    name = "clang"
+
+    def __init__(self):
+        self.cindex = _load_cindex()
+        self.index = self.cindex.Index.create()
+
+    def parse(self, path, relpath, compile_args=None):
+        args = [a for a in (compile_args or [])
+                if not a.endswith((".cc", ".o")) and a not in ("-c", "-o")]
+        tu = self.index.parse(path, args=args or ["-std=c++20"])
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            raise ClangUnavailable(
+                f"{relpath}: clang could not parse ({fatal[0].spelling})")
+        toks = []
+        comments = {}
+        from engine import Tok
+        kinds = self.cindex.TokenKind
+        skip_directive_line = -1
+        for ct in tu.get_tokens(extent=tu.cursor.extent):
+            line = ct.location.line
+            text = ct.spelling
+            if ct.kind == kinds.COMMENT:
+                body = text.lstrip("/").lstrip("*").rstrip("*/").strip()
+                comments[line] = (comments.get(line, "") + " " + body).strip()
+                continue
+            if ct.kind == kinds.PUNCTUATION and text == "#" \
+                    and (not toks or toks[-1].line != line):
+                skip_directive_line = line
+                continue
+            if line == skip_directive_line:
+                continue
+            if ct.kind == kinds.IDENTIFIER or ct.kind == kinds.KEYWORD:
+                kind = "id"
+            elif ct.kind == kinds.LITERAL:
+                kind = "str" if text.startswith(('"', "R\"")) else \
+                    ("char" if text.startswith("'") else "num")
+            else:
+                kind = "punct"
+            toks.append(Tok(kind, text, line, ct.location.column))
+        return FileIR(path, relpath, toks, comments)
+
+
+def load_compile_args(compdb_path):
+    """file -> argument list, from a compile_commands.json."""
+    if not compdb_path or not os.path.exists(compdb_path):
+        return {}
+    with open(compdb_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    out = {}
+    for e in entries:
+        path = os.path.normpath(os.path.join(e.get("directory", "."),
+                                             e["file"]))
+        if "arguments" in e:
+            args = list(e["arguments"][1:])
+        else:
+            args = e.get("command", "").split()[1:]
+        out[path] = args
+    return out
+
+
+def select_frontend(requested="auto"):
+    """Returns (frontend, note). note is non-empty when falling back."""
+    if requested == "builtin":
+        return BuiltinFrontend(), ""
+    try:
+        fe = ClangFrontend()
+        return fe, ""
+    except ClangUnavailable as e:
+        if requested == "clang":
+            raise
+        return BuiltinFrontend(), f"libclang unavailable ({e}); " \
+                                  "using builtin frontend"

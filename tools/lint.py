@@ -3,9 +3,6 @@
 
 Rules (each with a per-rule allowlist of path globs):
 
-  rng          std::rand / srand / std::random_device are banned outside
-               src/util/rng.* — every stochastic component must draw from
-               the seeded util::Rng so runs stay reproducible.
   io           printf / fprintf / puts / std::cout / std::cerr are banned
                in src/ outside the logging sink — library code must report
                through LNCL_LOG or CheckFailure, never stdout.
@@ -31,6 +28,12 @@ Rules (each with a per-rule allowlist of path globs):
 
 A line may waive a rule explicitly with a trailing `// lint: allow(<rule>)`
 comment; prefer extending the allowlist for whole-file exemptions.
+
+Rules that need structure rather than a regex live in tools/analyze/ (the
+AST-grounded analyzer). The old `rng` rule moved there: the determinism
+check bans entropy sources (rand/srand, std::random_device, raw std
+engines) outside src/util/rng.* on the token stream, where string and
+comment contexts can't fool it.
 
 Usage:
   tools/lint.py [--root DIR]   lint the tree; exit 1 on any violation
@@ -68,15 +71,6 @@ HEADER_EXTS = (".h",)
 CODE_EXTS = (".h", ".cc")
 
 RULES = [
-    Rule(
-        name="rng",
-        description="unseeded randomness source; draw from util::Rng",
-        pattern=r"(?<!\w)(?:std::)?(?:rand|srand)\s*\(|"
-                r"(?<!\w)(?:std::)?random_device\b",
-        roots=("src",),
-        extensions=CODE_EXTS,
-        allowlist=("src/util/rng.h", "src/util/rng.cc"),
-    ),
     Rule(
         name="io",
         description="direct stdout/stderr write; use LNCL_LOG",
@@ -192,7 +186,6 @@ def self_test(root):
     as if they sat at a src/-relative path, so the rule scoping applies."""
     fixture_dir = os.path.join(root, "tools", "lint_fixtures")
     cases = {
-        "bad_rng.cc": "rng",
         "bad_io.cc": "io",
         "bad_alloc.cc": "alloc",
         "bad_pragma_once.h": "pragma-once",
