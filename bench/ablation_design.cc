@@ -16,6 +16,7 @@
 
 #include "baselines/two_stage.h"
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/ner_rules.h"
 #include "core/sentiment_rules.h"
 #include "eval/metrics.h"
@@ -23,6 +24,7 @@
 #include "models/crf_tagger.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -34,6 +36,7 @@ struct Cell {
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   Scale sent_scale = SentimentScale(config);
   Scale ner_scale = NerScale(config);
   sent_scale.runs = config.GetInt("runs", 2);
@@ -233,6 +236,7 @@ void Run(int argc, char** argv) {
     table.AddRow({name, Pct(cell.prediction, true), Pct(cell.inference)});
   }
   EmitTable(&table, "ablation_design");
+  AppendBenchHistory("ablation_design", bench_timer.Seconds());
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+#include "bench_history.h"
+
+#include <cctype>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/mem_stats.h"
+#include "obs/perf_counters.h"
+#include "util/check.h"
+
+namespace lncl::bench {
+
+namespace {
+
+bool IsHex(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+std::string ReadFirstLine(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  std::string line;
+  if (is) std::getline(is, line);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+// Resolves a "refs/heads/..." name to its commit inside `git_dir`: the loose
+// ref file first, then packed-refs ("<40-hex> <refname>" lines).
+std::string ResolveRef(const std::filesystem::path& git_dir,
+                       const std::string& ref) {
+  const std::string loose = ReadFirstLine(git_dir / ref);
+  if (IsHex(loose) && loose.size() >= 12) return loose.substr(0, 12);
+  std::ifstream packed(git_dir / "packed-refs");
+  std::string line;
+  while (packed && std::getline(packed, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '^') continue;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    if (line.substr(space + 1) == ref && IsHex(line.substr(0, space)) &&
+        space >= 12) {
+      return line.substr(0, 12);
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string GitRevision() {
+  std::error_code ec;
+  std::filesystem::path dir = std::filesystem::current_path(ec);
+  if (ec) return "unknown";
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    const std::filesystem::path git_dir = dir / ".git";
+    if (!std::filesystem::is_directory(git_dir, ec)) {
+      if (dir == dir.parent_path()) break;
+      continue;
+    }
+    const std::string head = ReadFirstLine(git_dir / "HEAD");
+    if (head.rfind("ref: ", 0) == 0) {
+      const std::string rev = ResolveRef(git_dir, head.substr(5));
+      return rev.empty() ? "unknown" : rev;
+    }
+    if (IsHex(head) && head.size() >= 12) return head.substr(0, 12);
+    return "unknown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string Num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void WriteCounters(std::ostream& os, const obs::Prof::SpanAgg& agg) {
+  const obs::CounterValues& t = agg.totals;
+  os << "{\"spans\": " << agg.spans << ", \"cycles\": " << t.cycles
+     << ", \"instructions\": " << t.instructions
+     << ", \"cache_references\": " << t.cache_references
+     << ", \"cache_misses\": " << t.cache_misses
+     << ", \"branch_misses\": " << t.branch_misses
+     << ", \"task_clock_ns\": " << t.task_clock_ns
+     << ", \"page_faults\": " << t.page_faults
+     << ", \"context_switches\": " << t.context_switches
+     << ", \"ipc\": " << Num(t.Ipc())
+     << ", \"cache_miss_rate\": " << Num(t.CacheMissRate()) << "}";
+}
+
+}  // namespace
+
+bool AppendBenchHistory(const std::string& id, double wall_seconds,
+                        const std::vector<TimedFit>& fits,
+                        const Int8Gate* int8, const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    std::cout << "[failed to append bench history to " << path << "]\n";
+    return false;
+  }
+  // The "fit" PhaseSpan aggregate is the headline counter set: it covers
+  // exactly the timed end-to-end fits a Prof session bracketed.
+  const obs::Prof::SpanAgg fit_counters = obs::Prof::SnapshotSpan("fit");
+  const obs::MemSample mem = obs::ReadSelfStatus();
+  os << "{\"schema\": \"lncl.bench.v1\", \"bench\": \"" << id << "\""
+     << ", \"unix_time\": " << static_cast<long long>(std::time(nullptr))
+     << ", \"git_rev\": \"" << GitRevision() << "\""
+     << ", \"host\": \"" << obs::HostFingerprint() << "\""
+     << ", \"audit\": " << (LNCL_AUDIT_ENABLED ? "true" : "false")
+     << ", \"prof_active\": "
+     << (fit_counters.spans > 0 ? "true" : "false")
+     << ", \"hw_counters_available\": "
+     << (obs::Prof::HwCountersAvailable() ? "true" : "false")
+     << ", \"sw_counters_available\": "
+     << (obs::Prof::SwCountersAvailable() ? "true" : "false")
+     << ", \"peak_rss_kb\": " << (mem.ok ? mem.vm_hwm_kb : 0)
+     << ", \"wall_seconds\": " << Num(wall_seconds) << ", \"counters\": ";
+  WriteCounters(os, fit_counters);
+  os << ", \"fits\": [";
+  for (size_t i = 0; i < fits.size(); ++i) {
+    const TimedFit& fit = fits[i];
+    const core::PhaseSeconds& p = fit.result.phase_seconds;
+    os << (i ? ", " : "") << "{\"mode\": \"" << fit.mode << "\""
+       << ", \"digest\": \"" << FitDigest(fit.result) << "\""
+       << ", \"fit_seconds\": " << Num(p.total)
+       << ", \"phase_seconds\": {\"m_step\": " << Num(p.m_step)
+       << ", \"confusion\": " << Num(p.confusion)
+       << ", \"e_step\": " << Num(p.e_step)
+       << ", \"dev_eval\": " << Num(p.dev_eval) << "}}";
+  }
+  os << "]";
+  if (int8 != nullptr) {
+    os << ", \"int8_argmax_agreement\": " << Num(int8->argmax_agreement);
+  }
+  os << "}\n";
+  if (os) {
+    std::cout << "[bench history appended to " << path << "]\n";
+    return true;
+  }
+  return false;
+}
+
+bool AppendBenchHistory(const std::string& id, double wall_seconds) {
+  return AppendBenchHistory(id, wall_seconds, {}, nullptr);
+}
+
+}  // namespace lncl::bench

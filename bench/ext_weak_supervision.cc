@@ -14,6 +14,7 @@
 
 #include "baselines/two_stage.h"
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/sentiment_rules.h"
 #include "crowd/weak_supervision.h"
 #include "eval/metrics.h"
@@ -21,6 +22,7 @@
 #include "inference/majority_vote.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -111,6 +113,7 @@ void RunSetting(const std::string& tag, const Scale& scale,
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   Scale scale = SentimentScale(config);
   scale.runs = config.GetInt("runs", 3);
   PrintConfigBanner("Extension — weak supervision & single noisy label",
@@ -163,6 +166,7 @@ void Run(int argc, char** argv) {
     table.AddSeparator();
   }
   EmitTable(&table, "ext_weak_supervision");
+  AppendBenchHistory("ext_weak_supervision", bench_timer.Seconds());
 }
 
 }  // namespace

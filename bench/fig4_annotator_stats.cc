@@ -4,10 +4,12 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_history.h"
 #include "crowd/confusion.h"
 #include "eval/metrics.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -23,6 +25,7 @@ void PrintSummary(util::Table* table, const std::string& label,
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   util::Table table("Figure 4: Annotator statistics (boxplot summaries)");
   table.SetHeader(
       {"Statistic", "Min", "Q1", "Median", "Q3", "Max", "Mean", "N"});
@@ -85,6 +88,7 @@ void Run(int argc, char** argv) {
   }
 
   EmitTable(&table, "fig4_annotator_stats");
+  AppendBenchHistory("fig4_annotator_stats", bench_timer.Seconds());
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_history.h"
 #include "models/crf_tagger.h"
 #include "models/ner_tagger.h"
 #include "models/text_cnn.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -32,6 +34,7 @@ void Summarize(const std::string& title, models::Model* model) {
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   const bool full = config.GetBool("full", false);
   util::Rng rng(1);
 
@@ -75,6 +78,7 @@ void Run(int argc, char** argv) {
   crf_config.gru_hidden = tagger_config.gru_hidden;
   models::CrfTagger crf(crf_config, ner_corpus.embeddings, &rng);
   Summarize("CrfTagger (Lample-style contrast)", &crf);
+  AppendBenchHistory("fig5_architectures", bench_timer.Seconds());
 }
 
 }  // namespace

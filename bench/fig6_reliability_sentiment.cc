@@ -6,12 +6,14 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/sentiment_rules.h"
 #include "crowd/confusion.h"
 #include "eval/metrics.h"
 #include "eval/reliability.h"
 #include "inference/truth_inference.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -36,6 +38,7 @@ void PrintMatrixPair(const std::string& header,
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   const Scale scale = SentimentScale(config);
   PrintConfigBanner("Figure 6 — Annotator reliability (sentiment)", scale,
                     config);
@@ -86,6 +89,7 @@ void Run(int argc, char** argv) {
             << util::FormatFixed(report.mean_abs_reliability_error, 3)
             << "   mean matrix distance = "
             << util::FormatFixed(report.mean_matrix_distance, 3) << "\n";
+  AppendBenchHistory("fig6_reliability_sentiment", bench_timer.Seconds());
 }
 
 }  // namespace

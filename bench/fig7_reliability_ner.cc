@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/ner_rules.h"
 #include "crowd/confusion.h"
 #include "data/bio.h"
@@ -14,6 +15,7 @@
 #include "eval/reliability.h"
 #include "inference/truth_inference.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -47,6 +49,7 @@ void PrintMatrixPair(const std::string& header,
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   const Scale scale = NerScale(config);
   PrintConfigBanner("Figure 7 — Annotator reliability (NER)", scale, config);
   const NerSetup setup = MakeNerSetup(scale, 2);
@@ -96,6 +99,7 @@ void Run(int argc, char** argv) {
             << util::FormatFixed(report.mean_abs_reliability_error, 3)
             << "   mean matrix distance = "
             << util::FormatFixed(report.mean_matrix_distance, 3) << "\n";
+  AppendBenchHistory("fig7_reliability_ner", bench_timer.Seconds());
 }
 
 }  // namespace

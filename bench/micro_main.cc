@@ -7,13 +7,19 @@
 //   ./bench/micro_all --benchmark_out=...   # explicit output wins
 //
 // Any google-benchmark flag still applies (--benchmark_filter, etc.).
+// Each run also appends a wall-time + peak-RSS record to
+// results/BENCH_history.jsonl (schema lncl.bench.v1) for bench_compare.py.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "bench_history.h"
+#include "util/timer.h"
+
 int main(int argc, char** argv) {
+  lncl::util::Stopwatch bench_timer;
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
@@ -31,5 +37,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  lncl::bench::AppendBenchHistory("micro", bench_timer.Seconds());
   return 0;
 }

@@ -9,11 +9,13 @@
 
 #include "baselines/crowd_layer.h"
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/ner_rules.h"
 #include "core/sentiment_rules.h"
 #include "eval/metrics.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -39,6 +41,7 @@ crowd::AnnotationSet SubsetAnnotations(const crowd::AnnotationSet& ann,
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   Scale sent_scale = SentimentScale(config);
   Scale ner_scale = NerScale(config);
   sent_scale.runs = config.GetInt("runs", 3);
@@ -174,6 +177,7 @@ void Run(int argc, char** argv) {
   std::cout << "Paper's finding: the student/teacher variants match the best "
                "full-data baseline\nusing only part of the training data "
                "(sentiment 86%/66%, NER 95%/82%).\n";
+  AppendBenchHistory("sample_efficiency", bench_timer.Seconds());
 }
 
 }  // namespace

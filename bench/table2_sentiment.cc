@@ -9,6 +9,7 @@
 #include "baselines/crowd_layer.h"
 #include "baselines/two_stage.h"
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/sentiment_rules.h"
 #include "eval/metrics.h"
 #include "inference/catd.h"
@@ -17,7 +18,9 @@
 #include "inference/majority_vote.h"
 #include "inference/pm.h"
 #include "models/logreg.h"
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -262,7 +265,11 @@ void Run(int argc, char** argv) {
   // fits, and a per-epoch run log attached to the batched one. All of it is
   // observation-only, so the batched/per_instance digest equality in
   // results/BENCH_table2.json is unaffected.
+  // --prof (default: follow --telemetry) additionally arms perf-counter
+  // span attribution (obs::Prof) over the timed fits and writes the
+  // per-span counter aggregates to results/prof_table2.json.
   const bool telemetry = config.GetBool("telemetry", true);
+  const bool prof = config.GetBool("prof", telemetry);
   std::unique_ptr<obs::JsonlRunLogger> run_log;
   if (telemetry) {
     obs::Metrics::Enable(true);
@@ -271,6 +278,7 @@ void Run(int argc, char** argv) {
     run_log = std::make_unique<obs::JsonlRunLogger>(
         "results/runlog_table2.jsonl", "table2/batched");
   }
+  if (prof) obs::Prof::Start();
   std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
                "per-instance) ---\n";
   std::vector<TimedFit> fits;
@@ -301,13 +309,22 @@ void Run(int argc, char** argv) {
       PrintInt8Gate(int8_gate);
     }
   }
+  if (prof) {
+    obs::Prof::Stop();
+    obs::Prof::WriteJson("results/prof_table2.json");
+    std::cout << "[prof: results/prof_table2.json (hw counters "
+              << (obs::Prof::HwCountersAvailable() ? "on" : "unavailable")
+              << ")]\n";
+  }
   if (telemetry) {
+    obs::SampleMemStatsToMetrics();
     obs::Trace::Stop();
     obs::Metrics::WriteSnapshotJson("results/metrics_table2.json");
     std::cout << "[telemetry: results/trace_table2.json "
                  "results/runlog_table2.jsonl results/metrics_table2.json]\n";
   }
   EmitBenchJson("table2", bench_timer.Seconds(), fits, &int8_gate);
+  AppendBenchHistory("table2", bench_timer.Seconds(), fits, &int8_gate);
 }
 
 }  // namespace

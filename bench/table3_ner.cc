@@ -9,6 +9,7 @@
 #include "baselines/dl_dn.h"
 #include "baselines/two_stage.h"
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/ner_rules.h"
 #include "eval/metrics.h"
 #include "inference/bsc_seq.h"
@@ -16,7 +17,9 @@
 #include "inference/hmm_crowd.h"
 #include "inference/ibcc.h"
 #include "inference/majority_vote.h"
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -271,7 +274,10 @@ void Run(int argc, char** argv) {
   // --telemetry (default on) additionally records a trace of both fits, a
   // per-epoch run log of the batched one, and a metrics snapshot — all
   // observation-only (digest equality in BENCH_table3.json is unaffected).
+  // --prof (default: follow --telemetry) arms perf-counter span attribution
+  // over the timed fits (results/prof_table3.json).
   const bool telemetry = config.GetBool("telemetry", true);
+  const bool prof = config.GetBool("prof", telemetry);
   std::unique_ptr<obs::JsonlRunLogger> run_log;
   if (telemetry) {
     obs::Metrics::Enable(true);
@@ -280,6 +286,7 @@ void Run(int argc, char** argv) {
     run_log = std::make_unique<obs::JsonlRunLogger>(
         "results/runlog_table3.jsonl", "table3/batched");
   }
+  if (prof) obs::Prof::Start();
   std::cout << "--- timed Logic-LNCL fit (same seed, batched vs "
                "per-instance) ---\n";
   std::vector<TimedFit> fits;
@@ -308,13 +315,22 @@ void Run(int argc, char** argv) {
       PrintInt8Gate(int8_gate);
     }
   }
+  if (prof) {
+    obs::Prof::Stop();
+    obs::Prof::WriteJson("results/prof_table3.json");
+    std::cout << "[prof: results/prof_table3.json (hw counters "
+              << (obs::Prof::HwCountersAvailable() ? "on" : "unavailable")
+              << ")]\n";
+  }
   if (telemetry) {
+    obs::SampleMemStatsToMetrics();
     obs::Trace::Stop();
     obs::Metrics::WriteSnapshotJson("results/metrics_table3.json");
     std::cout << "[telemetry: results/trace_table3.json "
                  "results/runlog_table3.jsonl results/metrics_table3.json]\n";
   }
   EmitBenchJson("table3", bench_timer.Seconds(), fits, &int8_gate);
+  AppendBenchHistory("table3", bench_timer.Seconds(), fits, &int8_gate);
 }
 
 }  // namespace

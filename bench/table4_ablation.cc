@@ -19,6 +19,7 @@
 #include "baselines/fixed_target.h"
 #include "baselines/two_stage.h"
 #include "bench_common.h"
+#include "bench_history.h"
 #include "core/ner_rules.h"
 #include "core/sentiment_rules.h"
 #include "eval/metrics.h"
@@ -26,6 +27,7 @@
 #include "inference/majority_vote.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 
 namespace lncl::bench {
 namespace {
@@ -358,6 +360,7 @@ void RunNer(const util::Config& config, const Scale& scale,
 
 void Run(int argc, char** argv) {
   const util::Config config(argc, argv);
+  util::Stopwatch bench_timer;
   Scale sent_scale = SentimentScale(config);
   Scale ner_scale = NerScale(config);
   PrintConfigBanner("Table IV — Ablation study (both datasets)", sent_scale,
@@ -401,6 +404,7 @@ void Run(int argc, char** argv) {
   EmitTable(&table, "table4_ablation");
   std::cout << "(NER GLAD-Rule row uses AggNet posteriors: GLAD is "
                "inapplicable to sequence tasks, as in the paper.)\n";
+  AppendBenchHistory("table4_ablation", bench_timer.Seconds());
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Measures the runtime cost of the src/obs telemetry layer and proves it
-# only observes. Three configurations of the table2/table3 timed fits
+# only observes. Four configurations of the table2/table3 timed fits
 # (--runs=0 skips the method sweep; the timed section always runs, seed
 # 424242):
 #
@@ -11,14 +11,18 @@
 #              user pays (one relaxed load + branch per site)
 #   telemetry  default build, telemetry on — metrics registry, trace
 #              recording, and the per-epoch run log all live
+#   prof       default build, --telemetry=0 --prof=1 — perf-counter span
+#              attribution alone: every span entry/exit reads the
+#              thread's counter groups (LNCL_PROF compile switch + Prof
+#              session gate)
 #
 # Then:
-#   1. asserts every fit's FitDigest is bit-identical across all three
-#      configurations (same seed + equal digests ==> telemetry changed no
-#      number anywhere in the trajectory), and
+#   1. asserts every fit's FitDigest is bit-identical across all four
+#      configurations (same seed + equal digests ==> observation changed
+#      no number anywhere in the trajectory), and
 #   2. appends a "telemetry_overhead" block — per-mode fit seconds for the
-#      three configurations, the idle and full-telemetry overhead ratios,
-#      and the matched digests — to results/BENCH_table2.json /
+#      four configurations, the idle / full-telemetry / prof overhead
+#      ratios, and the matched digests — to results/BENCH_table2.json /
 #      BENCH_table3.json.
 #
 # The null-sink budget is <= 1.05x; the script warns (does not fail) when a
@@ -42,13 +46,14 @@ trap 'rm -rf "$scratch"' EXIT
 for bench in table2_sentiment:table2 table3_ner:table3; do
   target=${bench%%:*}
   id=${bench##*:}
-  for mode in notrace idle telemetry; do
+  for mode in notrace idle telemetry prof; do
     build_dir=build
     flags=()
     case "$mode" in
       notrace) build_dir=build-notrace; flags=(--telemetry=0) ;;
       idle) flags=(--telemetry=0) ;;
       telemetry) ;;
+      prof) flags=(--telemetry=0 --prof=1) ;;
     esac
     echo "===== ${id}: timed fits, ${mode} ====="
     mkdir -p "$scratch/$mode"
@@ -58,6 +63,8 @@ for bench in table2_sentiment:table2 table3_ner:table3; do
     test -s "$scratch/telemetry/results/$artifact" \
       || { echo "FAIL: missing telemetry artifact $artifact"; exit 1; }
   done
+  test -s "$scratch/prof/results/prof_${id}.json" \
+    || { echo "FAIL: missing prof artifact prof_${id}.json"; exit 1; }
   python3 - "$root" "$scratch" "$id" <<'EOF'
 import json
 import sys
@@ -65,7 +72,7 @@ import sys
 root, scratch, bench_id = sys.argv[1:4]
 docs = {
     mode: json.load(open(f"{scratch}/{mode}/results/BENCH_{bench_id}.json"))
-    for mode in ("notrace", "idle", "telemetry")
+    for mode in ("notrace", "idle", "telemetry", "prof")
 }
 by_mode = lambda doc: {f["mode"]: f for f in doc["timed_fits"]}
 fits_by = {mode: by_mode(doc) for mode, doc in docs.items()}
@@ -75,29 +82,34 @@ assert all(sorted(fits_by[m]) == modes for m in fits_by), fits_by
 fits = []
 budget_ok = True
 for mode in modes:
-    base, idle, full = (fits_by[m][mode] for m in ("notrace", "idle",
-                                                   "telemetry"))
+    base, idle, full, prof = (fits_by[m][mode]
+                              for m in ("notrace", "idle", "telemetry",
+                                        "prof"))
     match = base["result_digest"] == idle["result_digest"] == \
-        full["result_digest"]
+        full["result_digest"] == prof["result_digest"]
     idle_ratio = idle["fit_seconds"] / base["fit_seconds"]
     full_ratio = full["fit_seconds"] / base["fit_seconds"]
+    prof_ratio = prof["fit_seconds"] / base["fit_seconds"]
     budget_ok &= idle_ratio <= 1.05
     fits.append({
         "mode": mode,
         "notrace_fit_seconds": base["fit_seconds"],
         "idle_fit_seconds": idle["fit_seconds"],
         "telemetry_fit_seconds": full["fit_seconds"],
+        "prof_fit_seconds": prof["fit_seconds"],
         "idle_overhead_ratio": round(idle_ratio, 3),
         "telemetry_overhead_ratio": round(full_ratio, 3),
+        "prof_overhead_ratio": round(prof_ratio, 3),
         "result_digest": base["result_digest"],
         "digests_match": match,
     })
     print(f"{bench_id} [{mode}]: notrace {base['fit_seconds']:.3f}s, "
           f"idle x{idle_ratio:.3f}, telemetry x{full_ratio:.3f}, "
+          f"prof x{prof_ratio:.3f}, "
           f"digest {'MATCH' if match else 'MISMATCH'}")
 
 if not all(f["digests_match"] for f in fits):
-    print(f"{bench_id}: FAIL — telemetry changed the computed numbers")
+    print(f"{bench_id}: FAIL — observation changed the computed numbers")
     sys.exit(1)
 if not budget_ok:
     print(f"{bench_id}: WARNING — null-sink overhead above the 1.05x budget "
@@ -108,8 +120,8 @@ doc = json.load(open(path))
 doc["telemetry_overhead"] = {
     "timed_fit_seed": 424242,
     "note": "same-seed timed fits: -DLNCL_TRACE=OFF vs default-idle vs "
-            "telemetry-on; matching FitDigest proves the obs layer is "
-            "read-only",
+            "telemetry-on vs prof-on; matching FitDigest proves the obs "
+            "layer (spans, metrics, run log, perf counters) is read-only",
     "fits": fits,
 }
 with open(path, "w") as f:
@@ -119,4 +131,4 @@ print(f"[telemetry overhead appended to {path}]")
 EOF
 done
 
-echo "Telemetry overhead measured; all digests bit-identical."
+echo "Telemetry + prof overhead measured; all digests bit-identical."

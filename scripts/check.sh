@@ -33,8 +33,14 @@
 #
 # Between lint and the sweeps, a trace-smoke step runs a tiny table2 bench
 # with telemetry on and validates the emitted artifacts: the trace file must
-# parse as Chrome trace-event JSON with span events, and every run-log line
-# must parse as JSON carrying the lncl.em_run.v1 schema.
+# parse as Chrome trace-event JSON with span events, every run-log line
+# must parse as JSON carrying the lncl.em_run.v1 schema, the prof file must
+# carry lncl.prof.v1 span aggregates, and the bench-history append must be a
+# well-formed lncl.bench.v1 record. The same smoke run then drives the
+# profiling tools end to end: prof_report.py renders the merged per-phase
+# table and bench_compare.py gates the smoke history (skip-pass without a
+# baseline). Both tools' fixture self-tests run with the lint pass —
+# bench_compare's includes the injected-20%-slowdown fixture that must fail.
 #
 #   scripts/check.sh              # lint + trace smoke + all three sweeps
 #   scripts/check.sh audit        # lint + trace smoke + audit sweep only
@@ -44,6 +50,10 @@ cd "$(dirname "$0")/.."
 root=$(pwd)
 
 scripts/lint.sh
+
+echo "===== profiling-tool self-tests ====="
+python3 tools/prof_report.py --self-test
+python3 tools/bench_compare.py --self-test
 
 echo "===== trace smoke (tiny telemetry-on table2 run) ====="
 cmake -B build -S . >/dev/null
@@ -81,8 +91,35 @@ assert lines and json.loads(lines[-1])["record"] == "fit_end", \
     "run log does not end with a fit_end record"
 
 json.load(open(f"{smoke}/results/metrics_table2.json"))
-print(f"trace smoke ok: {len(spans)} spans, {len(lines)} run-log records")
+
+prof = json.load(open(f"{smoke}/results/prof_table2.json"))
+assert prof["schema"] == "lncl.prof.v1", prof
+assert "fit" in prof["spans"], sorted(prof["spans"])
+assert "sw_counters_available" in prof and "hw_counters_available" in prof
+for span in prof["spans"].values():
+    for key in ("spans", "cycles", "instructions", "task_clock_ns",
+                "ipc", "cache_miss_rate"):
+        assert key in span, f"prof span missing {key}: {span}"
+
+history = [json.loads(l) for l in
+           open(f"{smoke}/results/BENCH_history.jsonl") if l.strip()]
+assert len(history) == 1, f"expected one history record, got {len(history)}"
+rec = history[0]
+assert rec["schema"] == "lncl.bench.v1", rec
+assert rec["bench"] == "table2" and rec["prof_active"] is True, rec
+assert rec["peak_rss_kb"] > 0 and rec["wall_seconds"] > 0, rec
+assert rec["fits"] and all(f["digest"] for f in rec["fits"]), rec
+
+print(f"trace smoke ok: {len(spans)} spans, {len(lines)} run-log records, "
+      f"prof spans {sorted(prof['spans'])}, 1 history record")
 EOF
+echo "----- prof smoke: report + history gate on the smoke artifacts -----"
+python3 tools/prof_report.py --trace "$smoke/results/trace_table2.json" \
+  --prof "$smoke/results/prof_table2.json" \
+  --metrics "$smoke/results/metrics_table2.json"
+python3 tools/bench_compare.py \
+  --history "$smoke/results/BENCH_history.jsonl" \
+  --baseline "$smoke/results/no_baseline.json"
 rm -rf "$smoke"
 trap - EXIT
 

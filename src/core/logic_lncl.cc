@@ -408,6 +408,8 @@ std::vector<util::Matrix> LogicLncl::PredictStudentBatch(
   // E-step and training always see the fp32 model. The toggle requantizes
   // eagerly (once per call, single-threaded here) and is reset before
   // returning so later Fit/Predict calls are untouched.
+  LNCL_TRACE_SPAN_ARG("serve_batch", "quantized",
+                      config_.quantized_predict ? 1 : 0);
   if (config_.quantized_predict) model_->SetQuantizedPredict(true);
   std::vector<util::Matrix> probs = model_->PredictBatch(dataset);
   if (config_.quantized_predict) model_->SetQuantizedPredict(false);
@@ -420,6 +422,8 @@ std::vector<util::Matrix> LogicLncl::PredictTeacherBatch(
   xs.reserve(dataset.instances.size());
   for (const data::Instance& x : dataset.instances) xs.push_back(&x);
   std::vector<util::Matrix> probs;
+  LNCL_TRACE_SPAN_ARG("serve_batch", "quantized",
+                      config_.quantized_predict ? 1 : 0);
   if (config_.quantized_predict) model_->SetQuantizedPredict(true);
   model_->PredictBatch(xs, &probs);
   if (config_.quantized_predict) model_->SetQuantizedPredict(false);

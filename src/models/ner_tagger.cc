@@ -1,6 +1,6 @@
 #include "models/ner_tagger.h"
 
-
+#include "obs/metrics.h"
 #include "nn/activations.h"
 #include "nn/dropout.h"
 #include "nn/softmax.h"
@@ -61,6 +61,17 @@ void NerTagger::PredictBatch(const std::vector<const data::Instance*>& xs,
   util::Matrix& logits = scope.NewMatrix();
   util::Matrix& probs = scope.NewMatrix();
 
+  if (quantized_predict_ && obs::Metrics::enabled()) {
+    // Int8 serving visibility: per-call and per-instance volume through the
+    // quantized path (the int8 GEMMs themselves count under gemm.int8.*).
+    static obs::Counter* const calls =
+        obs::Metrics::GetCounter("quantized_predict.calls");
+    static obs::Counter* const instances =
+        obs::Metrics::GetCounter("quantized_predict.instances");
+    calls->Add(1);
+    instances->Add(xs.size());
+  }
+
   std::vector<int> tokens;
   for (const LengthBucket& bucket : BucketByLength(xs)) {
     const int t = bucket.length;
@@ -70,6 +81,13 @@ void NerTagger::PredictBatch(const std::vector<const data::Instance*>& xs,
       continue;
     }
     const int batch = static_cast<int>(bucket.members.size());
+    if (quantized_predict_ && obs::Metrics::enabled()) {
+      // How full the int8 [B, L] blocks run (cap kMaxPredictBatch = 64) —
+      // quantized serving throughput depends on this occupancy.
+      static obs::Histogram* const occupancy = obs::Metrics::GetHistogram(
+          "quantized_predict.bucket_occupancy", {1, 2, 4, 8, 16, 32, 64});
+      occupancy->Observe(static_cast<double>(batch));
+    }
     tokens.clear();
     for (int m : bucket.members) {
       tokens.insert(tokens.end(), xs[m]->tokens.begin(), xs[m]->tokens.end());
@@ -93,6 +111,7 @@ void NerTagger::PredictBatch(const std::vector<const data::Instance*>& xs,
 }
 
 void NerTagger::SetQuantizedPredict(bool on) {
+  quantized_predict_ = on;
   conv_.SetQuantized(on);
   fc_.SetQuantized(on);
 }

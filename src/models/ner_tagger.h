@@ -72,6 +72,7 @@ class NerTagger : public Model {
   std::unique_ptr<nn::Gru> gru_;    // exactly one of gru_/lstm_ is set
   std::unique_ptr<nn::Lstm> lstm_;
   nn::Linear fc_;
+  bool quantized_predict_ = false;  // mirrors the layers' int8 toggle
 
   struct Cache {
     util::Matrix embedded;     // T x D

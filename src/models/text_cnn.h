@@ -72,6 +72,7 @@ class TextCnn : public Model {
   std::unique_ptr<nn::Embedding> trainable_;  // non-static channel, optional
   std::vector<std::unique_ptr<nn::Conv1d>> convs_;
   nn::Linear fc_;
+  bool quantized_predict_ = false;  // mirrors the layers' int8 toggle
 
   // Cache of the last ForwardTrain.
   struct Cache {

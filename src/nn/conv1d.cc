@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/gemm_kernel.h"
 
@@ -27,6 +28,15 @@ void Conv1d::SetQuantized(bool on) {
   quantized_ = on;
   if (on) {
     QuantizeRows(w_.value, &qw_);
+    if (obs::Metrics::enabled()) {
+      // Requantization volume (see Linear::SetQuantized).
+      static obs::Counter* const tensors =
+          obs::Metrics::GetCounter("quantize.requantized_tensors");
+      static obs::Counter* const rows =
+          obs::Metrics::GetCounter("quantize.requantized_rows");
+      tensors->Add(1);
+      rows->Add(static_cast<uint64_t>(w_.value.rows()));
+    }
   } else {
     qw_ = RowQuantized();
   }

@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/gemm_kernel.h"
 
@@ -15,6 +16,17 @@ void Linear::SetQuantized(bool on) {
   quantized_ = on;
   if (on) {
     QuantizeRows(w_.value, &qw_);
+    if (obs::Metrics::enabled()) {
+      // Requantization volume: each toggle re-derives the int8 weights, so
+      // frequent teacher/student flips show up here before they show up as
+      // serving latency.
+      static obs::Counter* const tensors =
+          obs::Metrics::GetCounter("quantize.requantized_tensors");
+      static obs::Counter* const rows =
+          obs::Metrics::GetCounter("quantize.requantized_rows");
+      tensors->Add(1);
+      rows->Add(static_cast<uint64_t>(w_.value.rows()));
+    }
   } else {
     qw_ = RowQuantized();
   }

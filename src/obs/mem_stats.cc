@@ -1,0 +1,119 @@
+#include "obs/mem_stats.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace lncl::obs {
+
+namespace {
+
+// Parses a "VmXXX:   1234 kB" line's value; -1 when the key is absent.
+int64_t ParseKbLine(const std::string& line) {
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos) return -1;
+  std::istringstream rest(line.substr(colon + 1));
+  int64_t kb = -1;
+  rest >> kb;
+  return kb;
+}
+
+}  // namespace
+
+MemSample ReadSelfStatus() {
+  MemSample sample;
+  std::ifstream status("/proc/self/status");
+  if (!status) return sample;
+  std::string line;
+  int found = 0;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      sample.vm_rss_kb = ParseKbLine(line);
+      ++found;
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      sample.vm_hwm_kb = ParseKbLine(line);
+      ++found;
+    } else if (line.rfind("VmData:", 0) == 0) {
+      sample.vm_data_kb = ParseKbLine(line);
+      ++found;
+    }
+    if (found == 3) break;
+  }
+  // VmRSS/VmHWM are the load-bearing fields; VmData is best-effort (absent
+  // for some kernel configs).
+  sample.ok = sample.vm_rss_kb > 0 && sample.vm_hwm_kb > 0;
+  if (sample.vm_data_kb < 0) sample.vm_data_kb = 0;
+  return sample;
+}
+
+void SampleMemStatsToMetrics() {
+  if (!Metrics::enabled()) return;
+  const MemSample sample = ReadSelfStatus();
+  if (!sample.ok) return;
+  static Gauge* const rss = Metrics::GetGauge("mem.vm_rss_kb");
+  static Gauge* const hwm = Metrics::GetGauge("mem.vm_hwm_kb");
+  static Gauge* const data = Metrics::GetGauge("mem.vm_data_kb");
+  rss->Update(sample.vm_rss_kb);
+  hwm->Update(sample.vm_hwm_kb);
+  if (sample.vm_data_kb > 0) data->Update(sample.vm_data_kb);
+}
+
+namespace {
+
+std::string CpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  if (!cpuinfo) return "unknown";
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::string model = line.substr(colon + 1);
+    // Trim + collapse whitespace runs to single '-' so the fingerprint is
+    // one shell/JSON-friendly token.
+    std::string out;
+    bool pending_sep = false;
+    for (const char c : model) {
+      if (c == ' ' || c == '\t') {
+        if (!out.empty()) pending_sep = true;
+        continue;
+      }
+      if (pending_sep) {
+        out.push_back('-');
+        pending_sep = false;
+      }
+      out.push_back(c);
+    }
+    return out.empty() ? "unknown" : out;
+  }
+  return "unknown";
+}
+
+std::string Hostname() {
+#if defined(__linux__)
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return std::string(buf);
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+std::string HostFingerprint() {
+  const unsigned threads = std::thread::hardware_concurrency();
+  std::ostringstream os;
+  os << Hostname() << "/" << CpuModel() << "/"
+     << (threads == 0 ? 1u : threads) << "t";
+  return os.str();
+}
+
+}  // namespace lncl::obs

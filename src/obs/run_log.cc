@@ -1,6 +1,9 @@
 #include "obs/run_log.h"
 
+#include <algorithm>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 namespace lncl::obs {
 
@@ -14,12 +17,53 @@ std::string Num(double v) {
   return os.str();
 }
 
+// Registry of live loggers plus the lock that serializes their writes, so
+// FlushRunLogs() can flush from the abort path while the training thread is
+// mid-line. Leaked: CheckFailure may fire during static teardown.
+struct LoggerRegistry {
+  std::mutex mu;
+  std::vector<JsonlRunLogger*> loggers;
+};
+
+LoggerRegistry& GetRegistry() {
+  static LoggerRegistry* registry = new LoggerRegistry();
+  return *registry;
+}
+
 }  // namespace
 
 JsonlRunLogger::JsonlRunLogger(const std::string& path, std::string label)
-    : os_(path), label_(std::move(label)) {}
+    : os_(path), label_(std::move(label)) {
+  LoggerRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.loggers.push_back(this);
+}
+
+JsonlRunLogger::~JsonlRunLogger() {
+  LoggerRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.loggers.erase(
+      std::remove(registry.loggers.begin(), registry.loggers.end(), this),
+      registry.loggers.end());
+}
+
+void JsonlRunLogger::Flush() {
+  if (os_) os_.flush();
+}
+
+void FlushRunLogs() {
+  LoggerRegistry& registry = GetRegistry();
+  // try_lock, not lock: the caller may be aborting from inside a logging
+  // write on this very thread (registry.mu held). Best-effort flush beats a
+  // deadlock where an abort should be.
+  const bool locked = registry.mu.try_lock();
+  for (JsonlRunLogger* logger : registry.loggers) logger->Flush();
+  if (locked) registry.mu.unlock();
+}
 
 void JsonlRunLogger::OnEpoch(const EpochRecord& r) {
+  LoggerRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
   if (!os_) return;
   os_ << "{\"schema\": \"lncl.em_run.v1\", \"record\": \"epoch\""
       << ", \"run\": \"" << label_ << "\""
@@ -47,6 +91,8 @@ void JsonlRunLogger::OnEpoch(const EpochRecord& r) {
 }
 
 void JsonlRunLogger::OnFitEnd(const FitSummary& s) {
+  LoggerRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
   if (!os_) return;
   os_ << "{\"schema\": \"lncl.em_run.v1\", \"record\": \"fit_end\""
       << ", \"run\": \"" << label_ << "\""

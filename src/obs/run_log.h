@@ -14,7 +14,11 @@
 //
 // JsonlRunLogger is the stock observer: one JSON object per line
 // (schema "lncl.em_run.v1"), consumable by tools/trace_summary.py, the
-// bench harness, and tests (tests/obs_test.cc golden-schema check).
+// bench harness, and tests (tests/obs_test.cc golden-schema check). Loggers
+// flush after every line and register themselves process-wide so
+// FlushRunLogs() — called by util::CheckFailure on the abort path — can
+// drain whatever an interrupted fit managed to log; a crashed run always
+// leaves an inspectable JSONL tail.
 
 #include <cstdint>
 #include <fstream>
@@ -87,15 +91,24 @@ class JsonlRunLogger : public RunObserver {
  public:
   explicit JsonlRunLogger(const std::string& path,
                           std::string label = std::string());
+  ~JsonlRunLogger() override;
 
   void OnEpoch(const EpochRecord& record) override;
   void OnFitEnd(const FitSummary& summary) override;
 
   bool ok() const { return static_cast<bool>(os_); }
 
+  // Flushes this logger's stream (thread-safe with concurrent OnEpoch).
+  void Flush();
+
  private:
   std::ofstream os_;
   std::string label_;
 };
+
+// Flushes every live JsonlRunLogger. Safe from any thread, including the
+// util::CheckFailure abort path — which is the point: an invariant failure
+// mid-epoch must not eat the run log's tail in a buffered ofstream.
+void FlushRunLogs();
 
 }  // namespace lncl::obs

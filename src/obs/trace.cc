@@ -185,6 +185,12 @@ PhaseSpan::PhaseSpan(const char* name, double* accum)
 #if LNCL_TRACE_ENABLED
   if (Trace::active()) start_us_ = trace_internal::NowUs();
 #endif
+#if LNCL_PROF_ENABLED
+  if (Prof::active()) {
+    prof_start_ = PerfCounters::PerThread().Read();
+    prof_on_ = true;
+  }
+#endif
 }
 
 PhaseSpan::~PhaseSpan() {
@@ -193,6 +199,11 @@ PhaseSpan::~PhaseSpan() {
   if (start_us_ >= 0.0 && Trace::active()) {
     trace_internal::RecordComplete(
         name_, start_us_, trace_internal::NowUs() - start_us_, nullptr, 0);
+  }
+#endif
+#if LNCL_PROF_ENABLED
+  if (prof_on_ && Prof::active()) {
+    Prof::RecordSpan(name_, PerfCounters::PerThread().Read() - prof_start_);
   }
 #endif
 }

@@ -24,8 +24,17 @@
 // LogicLnclResult::phase_seconds is derived from the very spans the trace
 // shows instead of a parallel Stopwatch::Lap() bookkeeping chain.
 
+// When profiling is compiled in (-DLNCL_PROF, default ON) and a Prof
+// session is active, every span — TraceSpan and PhaseSpan alike — also
+// reads the calling thread's perf counter groups at entry/exit and feeds
+// the delta to Prof::RecordSpan, giving the whole span tree IPC and
+// cache-miss attribution on top of wall time. Same bit-identity contract:
+// counters observe, they never steer.
+
 #include <cstdint>
 #include <string>
+
+#include "obs/perf_counters.h"
 
 #if defined(LNCL_TRACE)
 #define LNCL_TRACE_ENABLED 1
@@ -75,6 +84,12 @@ class TraceSpan {
   TraceSpan(const char* name, const char* arg_name, int64_t arg)
       : name_(name), arg_name_(arg_name), arg_(arg) {
     if (Trace::active()) start_us_ = trace_internal::NowUs();
+#if LNCL_PROF_ENABLED
+    if (Prof::active()) {
+      prof_start_ = PerfCounters::PerThread().Read();
+      prof_on_ = true;
+    }
+#endif
   }
   ~TraceSpan() {
     if (start_us_ >= 0.0 && Trace::active()) {
@@ -82,6 +97,11 @@ class TraceSpan {
           name_, start_us_, trace_internal::NowUs() - start_us_, arg_name_,
           arg_);
     }
+#if LNCL_PROF_ENABLED
+    if (prof_on_ && Prof::active()) {
+      Prof::RecordSpan(name_, PerfCounters::PerThread().Read() - prof_start_);
+    }
+#endif
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -92,6 +112,10 @@ class TraceSpan {
   const char* arg_name_;
   int64_t arg_;
   double start_us_ = -1.0;
+#if LNCL_PROF_ENABLED
+  CounterValues prof_start_;
+  bool prof_on_ = false;
+#endif
 };
 
 #define LNCL_TRACE_CONCAT_(a, b) a##b
@@ -125,6 +149,10 @@ class PhaseSpan {
   double* accum_;
   int64_t start_ns_;
   double start_us_;  // trace timestamp; < 0 when not tracing
+#if LNCL_PROF_ENABLED
+  CounterValues prof_start_;
+  bool prof_on_ = false;
+#endif
 };
 
 }  // namespace lncl::obs

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/run_log.h"
 #include "util/matrix.h"
 
 namespace lncl::util {
@@ -63,6 +64,9 @@ void CheckFailure(const char* file, int line, const char* expr,
                Basename(file), line, expr, detail.empty() ? "" : " (",
                detail.c_str(), detail.empty() ? "" : ")");
   std::fflush(stderr);
+  // Drain any live run logs so the crashed fit leaves an inspectable JSONL
+  // tail (best-effort; never blocks the abort).
+  obs::FlushRunLogs();
   std::abort();
 }
 

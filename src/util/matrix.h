@@ -44,6 +44,10 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Bytes of backing storage actually held (capacity, not logical size) —
+  // what the workspace arena's byte-accounting gauges report.
+  size_t allocated_bytes() const { return data_.capacity() * sizeof(float); }
+
   // Content-version ticket: version() == version() of another matrix implies
   // equal contents (the converse need not hold). 0 only for a default-built,
   // never-mutated matrix.

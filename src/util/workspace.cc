@@ -14,14 +14,21 @@ Matrix* Workspace::Acquire() {
   Matrix* m = &pool_[in_use_++];
   if (obs::Metrics::enabled()) {
     // High-water marks of the per-thread arena: deepest simultaneous
-    // acquisition and total pooled matrices (gauges merge by max across
-    // threads, so the snapshot shows the worst thread).
+    // acquisition, total pooled matrices, and pooled capacity in bytes
+    // (gauges merge by max across threads, so the snapshot shows the worst
+    // thread). The byte figure is the arena-side view that mem_stats'
+    // process-wide VmRSS/VmHWM gauges bracket from the malloc side.
     static obs::Gauge* const high_water =
         obs::Metrics::GetGauge("workspace.in_use_high_water");
     static obs::Gauge* const pooled =
         obs::Metrics::GetGauge("workspace.pool_matrices");
+    static obs::Gauge* const pool_bytes =
+        obs::Metrics::GetGauge("workspace.pool_bytes_high_water");
     high_water->Update(static_cast<int64_t>(in_use_));
     pooled->Update(static_cast<int64_t>(pool_.size()));
+    size_t bytes = 0;
+    for (const Matrix& pooled_m : pool_) bytes += pooled_m.allocated_bytes();
+    pool_bytes->Update(static_cast<int64_t>(bytes));
   }
   return m;
 }

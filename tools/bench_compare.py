@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""Bench-history regression gate (stdlib only).
+
+Diffs the newest lncl.bench.v1 record per (host, bench) in
+results/BENCH_history.jsonl against the committed per-host baseline
+(results/bench_baseline.json) and exits non-zero when
+
+  * the headline time regresses by more than --wall-tolerance-pct, or
+  * the cache-miss rate regresses by more than --miss-tolerance-pct
+    (only when BOTH records were taken with hardware counters available —
+    a PMU-less VM cannot produce a miss-rate signal, so none is judged).
+
+The headline time is the "batched" fit's fit_seconds when the record has
+timed fits (end-to-end fit time is what the paper tables report and is far
+less noisy than process wall time, which includes data synthesis and
+baseline sweeps); otherwise wall_seconds. Benches present in history but
+absent from the baseline are SKIPPED (reported, exit 0) — a gate that
+fails on first contact would block adding benches. Timing comparisons are
+only meaningful on the same host, hence per-host keying; records from
+hosts absent from the baseline are likewise skipped.
+
+Usage:
+  tools/bench_compare.py                        # gate vs committed baseline
+  tools/bench_compare.py --update-baseline      # bless current newest records
+  tools/bench_compare.py --self-test            # fixture-driven check of the
+                                                # gate itself (CI runs this)
+
+Exit codes: 0 ok/skip, 1 regression detected, 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA = "lncl.bench.v1"
+BASELINE_SCHEMA = "lncl.bench_baseline.v1"
+DEFAULT_HISTORY = "results/BENCH_history.jsonl"
+DEFAULT_BASELINE = "results/bench_baseline.json"
+DEFAULT_WALL_TOL_PCT = 25.0
+DEFAULT_MISS_TOL_PCT = 30.0
+
+
+def load_history(path):
+    """All lncl.bench.v1 records, in file order. Unknown schemas are fatal:
+    a silently-skipped record would make the gate vacuously green."""
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
+            if rec.get("schema") != SCHEMA:
+                raise SystemExit(
+                    f"{path}:{lineno}: unknown schema {rec.get('schema')!r}")
+            records.append(rec)
+    return records
+
+
+def newest_per_key(records):
+    """{(host, bench): record} keeping the newest record per key.
+    Later file position wins ties, so append order is the tiebreak."""
+    newest = {}
+    for rec in records:
+        key = (rec.get("host", ""), rec.get("bench", ""))
+        prev = newest.get(key)
+        if prev is None or rec.get("unix_time", 0) >= prev.get("unix_time", 0):
+            newest[key] = rec
+    return newest
+
+
+def headline_seconds(rec):
+    """(seconds, source) — the number the gate judges."""
+    fits = rec.get("fits") or []
+    for fit in fits:
+        if fit.get("mode") == "batched":
+            return float(fit["fit_seconds"]), "fit:batched"
+    if fits:
+        return float(fits[0]["fit_seconds"]), f"fit:{fits[0].get('mode')}"
+    return float(rec.get("wall_seconds", 0.0)), "wall"
+
+
+def summarize(rec):
+    """The slice of a record the baseline stores and the gate compares."""
+    seconds, source = headline_seconds(rec)
+    counters = rec.get("counters") or {}
+    return {
+        "bench": rec.get("bench", ""),
+        "host": rec.get("host", ""),
+        "git_rev": rec.get("git_rev", "unknown"),
+        "unix_time": rec.get("unix_time", 0),
+        "headline_seconds": seconds,
+        "headline_source": source,
+        "hw_counters_available": bool(rec.get("hw_counters_available")),
+        "cache_miss_rate": float(counters.get("cache_miss_rate", 0.0)),
+        "peak_rss_kb": int(rec.get("peak_rss_kb", 0)),
+    }
+
+
+def load_baseline(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise SystemExit(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc
+
+
+def write_baseline(path, newest):
+    entries = {}
+    for (host, bench), rec in sorted(newest.items()):
+        entries.setdefault(host, {})[bench] = summarize(rec)
+    doc = {"schema": BASELINE_SCHEMA, "entries": entries}
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
+def pct_delta(new, old):
+    return (new - old) / old * 100.0 if old > 0 else 0.0
+
+
+def compare_one(base, cur, wall_tol_pct, miss_tol_pct):
+    """One (host, bench) pair -> (failures, report_lines). Pure."""
+    failures = []
+    lines = []
+    d_wall = pct_delta(cur["headline_seconds"], base["headline_seconds"])
+    lines.append(
+        f"  time [{cur['headline_source']}]: "
+        f"{base['headline_seconds']:.4f}s -> {cur['headline_seconds']:.4f}s "
+        f"({d_wall:+.1f}%, tolerance +{wall_tol_pct:.0f}%)")
+    if d_wall > wall_tol_pct:
+        failures.append(
+            f"{cur['bench']}: headline time regressed {d_wall:+.1f}% "
+            f"(> +{wall_tol_pct:.0f}%)")
+
+    if base["hw_counters_available"] and cur["hw_counters_available"] \
+            and base["cache_miss_rate"] > 0:
+        d_miss = pct_delta(cur["cache_miss_rate"], base["cache_miss_rate"])
+        lines.append(
+            f"  cache-miss rate: {base['cache_miss_rate']:.4f} -> "
+            f"{cur['cache_miss_rate']:.4f} "
+            f"({d_miss:+.1f}%, tolerance +{miss_tol_pct:.0f}%)")
+        if d_miss > miss_tol_pct:
+            failures.append(
+                f"{cur['bench']}: cache-miss rate regressed {d_miss:+.1f}% "
+                f"(> +{miss_tol_pct:.0f}%)")
+    else:
+        lines.append("  cache-miss rate: skipped (hw counters unavailable "
+                     "in baseline and/or current)")
+
+    if base["peak_rss_kb"] > 0 and cur["peak_rss_kb"] > 0:
+        d_rss = pct_delta(cur["peak_rss_kb"], base["peak_rss_kb"])
+        lines.append(f"  peak RSS: {base['peak_rss_kb']} kB -> "
+                     f"{cur['peak_rss_kb']} kB ({d_rss:+.1f}%, informational)")
+    return failures, lines
+
+
+def run_gate(history_path, baseline_path, wall_tol_pct, miss_tol_pct):
+    if not os.path.exists(history_path):
+        print(f"bench_compare: no history at {history_path}; nothing to gate")
+        return 0
+    newest = newest_per_key(load_history(history_path))
+    if not newest:
+        print(f"bench_compare: {history_path} holds no records")
+        return 0
+    if not os.path.exists(baseline_path):
+        print(f"bench_compare: no baseline at {baseline_path}; "
+              f"run --update-baseline to create one (skip-pass)")
+        return 0
+    entries = load_baseline(baseline_path).get("entries", {})
+
+    failures = []
+    checked = skipped = 0
+    for (host, bench), rec in sorted(newest.items()):
+        base = entries.get(host, {}).get(bench)
+        cur = summarize(rec)
+        if base is None:
+            skipped += 1
+            print(f"SKIP {bench} on {host}: no baseline entry")
+            continue
+        checked += 1
+        fails, lines = compare_one(base, cur, wall_tol_pct, miss_tol_pct)
+        verdict = "FAIL" if fails else "OK"
+        print(f"{verdict} {bench} on {host} "
+              f"(baseline {base['git_rev']} -> current {cur['git_rev']})")
+        for line in lines:
+            print(line)
+        failures.extend(fails)
+
+    print(f"bench_compare: {checked} gated, {skipped} skipped, "
+          f"{len(failures)} regression(s)")
+    for fail in failures:
+        print(f"REGRESSION: {fail}")
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthesizes history/baseline fixtures in a temp dir and checks
+# the gate's verdicts, including that an injected 20% slowdown FAILS at 10%
+# tolerance. CI runs this (ctest bench_compare_selftest / scripts/check.sh);
+# the real-baseline gate is a developer tool, too timing-noisy for CI.
+# ---------------------------------------------------------------------------
+
+def make_record(bench, host, seconds, unix_time, hw=False, miss_rate=0.0,
+                rss_kb=100000, batched=True):
+    counters = {"spans": 2, "cycles": 0, "instructions": 0,
+                "cache_references": 0, "cache_misses": 0, "branch_misses": 0,
+                "task_clock_ns": int(seconds * 1e9), "page_faults": 10,
+                "context_switches": 1, "ipc": 0.0,
+                "cache_miss_rate": miss_rate}
+    fits = []
+    if batched:
+        fits = [{"mode": "batched", "digest": "d" * 16,
+                 "fit_seconds": seconds,
+                 "phase_seconds": {"m_step": seconds * 0.6, "confusion": 0.0,
+                                   "e_step": seconds * 0.3,
+                                   "dev_eval": seconds * 0.1}}]
+    return {"schema": SCHEMA, "bench": bench, "unix_time": unix_time,
+            "git_rev": "abcdef123456", "host": host, "audit": False,
+            "prof_active": True, "hw_counters_available": hw,
+            "sw_counters_available": True, "peak_rss_kb": rss_kb,
+            "wall_seconds": seconds * 2.0, "counters": counters,
+            "fits": fits}
+
+
+def self_test():
+    host = "testhost/test-cpu/1t"
+    failures = []
+
+    def check(name, ok, detail=""):
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] {name}" + (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_selftest.") as tmp:
+        history = os.path.join(tmp, "BENCH_history.jsonl")
+        baseline = os.path.join(tmp, "bench_baseline.json")
+
+        def write_history(records):
+            with open(history, "w", encoding="utf-8") as f:
+                for rec in records:
+                    f.write(json.dumps(rec) + "\n")
+
+        print("bench_compare --self-test")
+
+        # 1. Missing baseline -> skip-pass.
+        write_history([make_record("table2", host, 1.0, 100)])
+        rc = run_gate(history, baseline, 10.0, 10.0)
+        check("missing baseline skip-passes", rc == 0, f"rc={rc}")
+
+        # 2. Bless the 1.0s record, then a 5% drift passes at 10% tolerance.
+        write_baseline(baseline, newest_per_key(load_history(history)))
+        write_history([make_record("table2", host, 1.0, 100),
+                       make_record("table2", host, 1.05, 200)])
+        rc = run_gate(history, baseline, 10.0, 30.0)
+        check("5% slowdown passes at 10% tolerance", rc == 0, f"rc={rc}")
+
+        # 3. The acceptance case: injected 20% slowdown MUST fail at 10%.
+        write_history([make_record("table2", host, 1.0, 100),
+                       make_record("table2", host, 1.20, 300)])
+        rc = run_gate(history, baseline, 10.0, 30.0)
+        check("injected 20% slowdown fails at 10% tolerance", rc == 1,
+              f"rc={rc}")
+
+        # 4. Newest-record selection: a fast record appended after the slow
+        #    one must win (unix_time ordering), turning the gate green again.
+        write_history([make_record("table2", host, 1.0, 100),
+                       make_record("table2", host, 1.20, 300),
+                       make_record("table2", host, 1.01, 400)])
+        rc = run_gate(history, baseline, 10.0, 30.0)
+        check("newest record wins", rc == 0, f"rc={rc}")
+
+        # 5. Cache-miss regression fails only with hw counters on both sides.
+        write_history([make_record("table3", host, 1.0, 100, hw=True,
+                                   miss_rate=0.10)])
+        write_baseline(baseline, newest_per_key(load_history(history)))
+        write_history([make_record("table3", host, 1.0, 100, hw=True,
+                                   miss_rate=0.10),
+                       make_record("table3", host, 1.0, 200, hw=True,
+                                   miss_rate=0.20)])
+        rc = run_gate(history, baseline, 25.0, 30.0)
+        check("doubled cache-miss rate fails", rc == 1, f"rc={rc}")
+        write_history([make_record("table3", host, 1.0, 100, hw=True,
+                                   miss_rate=0.10),
+                       make_record("table3", host, 1.0, 200, hw=False,
+                                   miss_rate=0.0)])
+        rc = run_gate(history, baseline, 25.0, 30.0)
+        check("miss-rate check skipped without hw counters", rc == 0,
+              f"rc={rc}")
+
+        # 6. Fit-less records gate on wall_seconds.
+        rec = make_record("micro", host, 0.5, 100, batched=False)
+        sec, src = headline_seconds(rec)
+        check("fit-less record headlines wall_seconds",
+              src == "wall" and abs(sec - 1.0) < 1e-12, f"{src} {sec}")
+
+        # 7. Foreign-host records are skipped, not judged.
+        write_history([make_record("table2", "otherhost/cpu/8t", 9.0, 500)])
+        rc = run_gate(history, baseline, 10.0, 30.0)
+        check("foreign host skip-passes", rc == 0, f"rc={rc}")
+
+    print("self-test: " +
+          (f"{len(failures)} FAILURE(S)" if failures else "all checks passed"))
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help="bench history JSONL (lncl.bench.v1)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON (lncl.bench_baseline.v1)")
+    parser.add_argument("--wall-tolerance-pct", type=float,
+                        default=DEFAULT_WALL_TOL_PCT,
+                        help="max allowed headline-time regression")
+    parser.add_argument("--miss-tolerance-pct", type=float,
+                        default=DEFAULT_MISS_TOL_PCT,
+                        help="max allowed cache-miss-rate regression")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="bless the newest record per (host, bench)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture-driven gate self-test")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.update_baseline:
+        if not os.path.exists(args.history):
+            raise SystemExit(f"no history at {args.history}")
+        newest = newest_per_key(load_history(args.history))
+        if not newest:
+            raise SystemExit(f"{args.history} holds no records")
+        write_baseline(args.baseline, newest)
+        print(f"baseline updated: {args.baseline} "
+              f"({len(newest)} entry/entries)")
+        return 0
+    return run_gate(args.history, args.baseline,
+                    args.wall_tolerance_pct, args.miss_tolerance_pct)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

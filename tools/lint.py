@@ -25,6 +25,13 @@ Rules (each with a per-rule allowlist of path globs):
                vector code lives behind the microkernel layer so the rest
                of the tree stays portable and the scalar/SIMD bit-equality
                contract has a single enforcement point.
+  prof         perf_event_open (and its __NR_ spelling) and procfs reads
+               (/proc/self, /proc/cpuinfo) are banned in src/ and bench/
+               outside src/obs/ — the raw syscall/procfs surface lives
+               behind obs::PerfCounters / obs::ReadSelfStatus so its
+               graceful-degradation story (PMU-less VMs, seccomp,
+               perf_event_paranoid) has a single enforcement point.
+               (bench/bench_history.cc reads only .git, not procfs.)
 
 A line may waive a rule explicitly with a trailing `// lint: allow(<rule>)`
 comment; prefer extending the allowlist for whole-file exemptions.
@@ -129,6 +136,17 @@ RULES = [
         extensions=CODE_EXTS,
         allowlist=("src/util/gemm_kernel.h", "src/util/gemm_kernel.cc"),
     ),
+    Rule(
+        name="prof",
+        description="raw perf/procfs access; use obs::PerfCounters / "
+                    "obs::ReadSelfStatus",
+        # No \b before perf_event_open: it must also catch the
+        # __NR_perf_event_open syscall-number spelling.
+        pattern=r"perf_event_open|/proc/self|/proc/cpuinfo",
+        roots=("src", "bench"),
+        extensions=CODE_EXTS,
+        allowlist=("src/obs/*",),
+    ),
 ]
 
 WAIVER = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)")
@@ -192,6 +210,7 @@ def self_test(root):
         "bad_assert.cc": "assert",
         "bad_timing.cc": "timing",
         "bad_intrinsics.cc": "intrinsics",
+        "bad_prof.cc": "prof",
         "good.cc": None,
         "good.h": None,
     }

@@ -1,0 +1,15 @@
+// Fixture: trips the `prof` rule — raw perf_event_open / procfs access
+// outside src/obs/. Both the libc-less syscall spelling and a procfs read
+// must fire.
+#include <fstream>
+#include <string>
+long OpenCycles() {
+  // syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0) in real code.
+  return __NR_perf_event_open;
+}
+std::string PeakRss() {
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  std::getline(is, line);
+  return line;
+}

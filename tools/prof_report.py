@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Merge trace + perf counters + metrics into one per-phase profile table.
+
+Joins, per span name:
+
+  * results/trace_<id>.json  (Chrome trace)  — count, inclusive ms, and
+    SELF ms (exclusive of child spans, via trace_summary.compute_self_us);
+  * results/prof_<id>.json   (lncl.prof.v1)  — task-clock CPU ms, IPC and
+    cache-miss rate (zeros with a "hw counters unavailable" note on
+    PMU-less hosts, where only the software group counts), page faults;
+  * results/metrics_<id>.json (lncl.metrics.v1 snapshot) — gemm.flops,
+    turned into achieved GFLOP/s over the fit span's CPU time and compared
+    against the roofline peak from results/BENCH_micro.json (max GFLOPS
+    counter across BM_GemmMicrokernel shapes).
+
+The trace and the prof file see the same spans from two angles: the trace
+measures wall time between ctor and dtor, the prof file counts what the
+CPU retired in between. Divergence between self wall-ms and task-clock ms
+is scheduling (preemption, page faults), not compute.
+
+Usage:
+  tools/prof_report.py --id table2            # expands the results/ paths
+  tools/prof_report.py --trace T --prof P [--metrics M] [--micro B]
+  tools/prof_report.py --self-test
+
+Exit codes: 0 ok, 1 self-test failure, 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from trace_summary import aggregate_trace, load_trace_spans  # noqa: E402
+
+
+def load_prof(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "lncl.prof.v1":
+        raise SystemExit(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc
+
+
+def micro_roofline_gflops(path):
+    """Peak GFLOPS over the GEMM microkernel sweep — the roofline the
+    end-to-end fit is judged against. 0.0 when absent."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    peak = 0.0
+    for bm in doc.get("benchmarks", []):
+        if "GemmMicrokernel" in bm.get("name", ""):
+            peak = max(peak, float(bm.get("GFLOPS", 0.0)))
+    return peak
+
+
+def build_report(trace_spans, prof_doc, metrics_doc=None, roofline=0.0):
+    """Pure merge -> {"rows": [...], "gemm": {...}|None, "hw": bool}."""
+    trace_agg = aggregate_trace(trace_spans)
+    prof_spans = prof_doc.get("spans", {})
+    hw = bool(prof_doc.get("hw_counters_available"))
+
+    rows = []
+    for name in sorted(set(trace_agg) | set(prof_spans),
+                       key=lambda n: -trace_agg.get(n, {}).get("self_us", 0)):
+        t = trace_agg.get(name, {"count": 0, "total_us": 0.0, "self_us": 0.0})
+        p = prof_spans.get(name, {})
+        rows.append({
+            "span": name,
+            "count": t["count"] or p.get("spans", 0),
+            "incl_ms": t["total_us"] / 1000.0,
+            "self_ms": t["self_us"] / 1000.0,
+            "cpu_ms": p.get("task_clock_ns", 0) / 1e6,
+            "ipc": p.get("ipc", 0.0),
+            "cache_miss_rate": p.get("cache_miss_rate", 0.0),
+            "page_faults": p.get("page_faults", 0),
+        })
+
+    gemm = None
+    if metrics_doc is not None:
+        flops = metrics_doc.get("counters", {}).get("gemm.flops", 0)
+        fit = prof_spans.get("fit", {})
+        # Prefer the fit span's CPU time (task-clock, survives preemption);
+        # fall back to its inclusive wall time from the trace.
+        fit_s = fit.get("task_clock_ns", 0) / 1e9
+        basis = "fit task-clock"
+        if fit_s <= 0.0:
+            fit_s = trace_agg.get("fit", {}).get("total_us", 0.0) / 1e6
+            basis = "fit wall"
+        if flops > 0 and fit_s > 0:
+            achieved = flops / fit_s / 1e9
+            gemm = {"flops": flops, "seconds": fit_s, "basis": basis,
+                    "achieved_gflops": achieved, "roofline_gflops": roofline,
+                    "roofline_pct": (achieved / roofline * 100.0
+                                     if roofline > 0 else 0.0)}
+    return {"rows": rows, "gemm": gemm, "hw": hw}
+
+
+def print_report(report, title=""):
+    if title:
+        print(f"== prof report: {title}")
+    total_self = sum(r["self_ms"] for r in report["rows"]) or 1.0
+    print(f"   {'span':<16} {'count':>7} {'incl ms':>10} {'self ms':>10} "
+          f"{'self%':>6} {'cpu ms':>10} {'ipc':>6} {'miss%':>6} {'pgflt':>7}")
+    for r in report["rows"]:
+        print(f"   {r['span']:<16} {r['count']:>7} {r['incl_ms']:>10.2f} "
+              f"{r['self_ms']:>10.2f} {r['self_ms'] / total_self:>6.1%} "
+              f"{r['cpu_ms']:>10.2f} {r['ipc']:>6.2f} "
+              f"{r['cache_miss_rate']:>6.1%} {r['page_faults']:>7}")
+    if not report["hw"]:
+        print("   (hw counters unavailable on this host — ipc/miss% are "
+              "zeros; cpu ms/pgflt come from the software group)")
+    g = report["gemm"]
+    if g is not None:
+        line = (f"   gemm: {g['flops']:,} flops / {g['seconds']:.3f}s "
+                f"{g['basis']} = {g['achieved_gflops']:.2f} GFLOP/s")
+        if g["roofline_gflops"] > 0:
+            line += (f"  ({g['roofline_pct']:.1f}% of "
+                     f"{g['roofline_gflops']:.1f} GFLOP/s micro roofline)")
+        print(line)
+        print("   (end-to-end fit spends time outside GEMM too, so this is "
+              "a lower bound on kernel efficiency)")
+
+
+# ---------------------------------------------------------------------------
+# Self-test: fixture trace/prof/metrics/micro files with hand-computable
+# numbers. CI runs this (ctest prof_selftest / scripts/check.sh).
+# ---------------------------------------------------------------------------
+
+def self_test():
+    failures = []
+
+    def check(name, ok, detail=""):
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] {name}" + (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    print("prof_report --self-test")
+    # fit [0,1000us] wraps epoch [100,900] wraps m_step [150,450] and
+    # e_step [500,850]; a second thread adds e_step_shard [0,300].
+    trace = {"traceEvents": [
+        {"ph": "X", "tid": 1, "ts": 0, "dur": 1000, "name": "fit"},
+        {"ph": "X", "tid": 1, "ts": 100, "dur": 800, "name": "epoch"},
+        {"ph": "X", "tid": 1, "ts": 150, "dur": 300, "name": "m_step"},
+        {"ph": "X", "tid": 1, "ts": 500, "dur": 350, "name": "e_step"},
+        {"ph": "X", "tid": 2, "ts": 0, "dur": 300, "name": "e_step_shard"},
+    ]}
+    prof = {"schema": "lncl.prof.v1", "hw_counters_available": True,
+            "sw_counters_available": True,
+            "spans": {
+                "fit": {"spans": 1, "cycles": 4000, "instructions": 8000,
+                        "cache_references": 1000, "cache_misses": 100,
+                        "branch_misses": 5, "task_clock_ns": 2_000_000_000,
+                        "page_faults": 7, "context_switches": 1,
+                        "ipc": 2.0, "cache_miss_rate": 0.1},
+                "m_step": {"spans": 1, "cycles": 1000, "instructions": 1500,
+                           "task_clock_ns": 300_000, "page_faults": 2,
+                           "ipc": 1.5, "cache_miss_rate": 0.0},
+            }}
+    metrics = {"counters": {"gemm.flops": 4_000_000_000}}
+    micro = {"benchmarks": [
+        {"name": "BM_GemmMicrokernel/14/16/160", "GFLOPS": 50.0},
+        {"name": "BM_GemmMicrokernel/64/32/32", "GFLOPS": 80.0},
+        {"name": "BM_LogicProject/32", "GFLOPS": 999.0},  # not a GEMM kernel
+    ]}
+
+    with tempfile.TemporaryDirectory(prefix="prof_report_selftest.") as tmp:
+        paths = {}
+        for stem, doc in [("trace", trace), ("prof", prof),
+                          ("metrics", metrics), ("micro", micro)]:
+            paths[stem] = os.path.join(tmp, f"{stem}.json")
+            with open(paths[stem], "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+
+        spans = load_trace_spans(paths["trace"])
+        report = build_report(spans, load_prof(paths["prof"]),
+                              json.load(open(paths["metrics"],
+                                             encoding="utf-8")),
+                              micro_roofline_gflops(paths["micro"]))
+        rows = {r["span"]: r for r in report["rows"]}
+
+        # Self times: fit = 1000-800 = 200; epoch = 800-300-350 = 150;
+        # leaves keep their full duration; tid 2 is its own stack.
+        for name, want in [("fit", 0.200), ("epoch", 0.150),
+                           ("m_step", 0.300), ("e_step", 0.350),
+                           ("e_step_shard", 0.300)]:
+            got = rows[name]["self_ms"]
+            check(f"self time {name}", abs(got - want) < 1e-9,
+                  f"{got} vs {want}")
+        check("inclusive unchanged", abs(rows["fit"]["incl_ms"] - 1.0) < 1e-9,
+              str(rows["fit"]["incl_ms"]))
+
+        # Counter join: prof rows land on the right spans.
+        check("fit cpu ms", abs(rows["fit"]["cpu_ms"] - 2000.0) < 1e-9,
+              str(rows["fit"]["cpu_ms"]))
+        check("fit ipc", rows["fit"]["ipc"] == 2.0)
+        check("m_step page faults", rows["m_step"]["page_faults"] == 2)
+        check("prof-less span zeroed", rows["e_step"]["cpu_ms"] == 0.0)
+
+        # Roofline: 4e9 flops / 2.0s task-clock = 2 GFLOP/s; peak is the
+        # max over GEMM kernels only (80, not 999).
+        g = report["gemm"]
+        check("achieved gflops", g is not None
+              and abs(g["achieved_gflops"] - 2.0) < 1e-9, str(g))
+        check("roofline from gemm kernels only",
+              g["roofline_gflops"] == 80.0, str(g["roofline_gflops"]))
+        check("roofline pct", abs(g["roofline_pct"] - 2.5) < 1e-9,
+              str(g["roofline_pct"]))
+
+        # The table must render without exceptions.
+        print_report(report, title="self-test fixture")
+
+    print("self-test: " +
+          (f"{len(failures)} FAILURE(S)" if failures else "all checks passed"))
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--id", help="expands to results/{trace,prof,"
+                        "metrics}_<id>.json + results/BENCH_micro.json")
+    parser.add_argument("--trace", help="Chrome trace JSON")
+    parser.add_argument("--prof", help="lncl.prof.v1 JSON")
+    parser.add_argument("--metrics", help="metrics snapshot JSON (optional)")
+    parser.add_argument("--micro", help="BENCH_micro.json for the roofline "
+                        "(optional)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.id:
+        args.trace = args.trace or f"results/trace_{args.id}.json"
+        args.prof = args.prof or f"results/prof_{args.id}.json"
+        if not args.metrics:
+            cand = f"results/metrics_{args.id}.json"
+            args.metrics = cand if os.path.exists(cand) else None
+        if not args.micro and os.path.exists("results/BENCH_micro.json"):
+            args.micro = "results/BENCH_micro.json"
+    if not args.trace or not args.prof:
+        parser.error("pass --id or both --trace and --prof")
+
+    metrics_doc = None
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as f:
+            metrics_doc = json.load(f)
+    roofline = micro_roofline_gflops(args.micro) if args.micro else 0.0
+    report = build_report(load_trace_spans(args.trace), load_prof(args.prof),
+                          metrics_doc, roofline)
+    print_report(report, title=args.id or args.trace)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

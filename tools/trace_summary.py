@@ -5,8 +5,13 @@ Reads a Chrome trace-event JSON (results/trace_*.json, as written by
 obs::Trace::Stop) and/or an EM run log (results/runlog_*.jsonl, schema
 lncl.em_run.v1, as written by obs::JsonlRunLogger) and prints:
 
-  * per-span aggregates from the trace — count, total/mean milliseconds,
-    and share of the total traced span time, sorted by total; and
+  * per-span aggregates from the trace — count, inclusive total/mean
+    milliseconds, **self** milliseconds (exclusive of enclosed child
+    spans), and self share of the traced time, sorted by self total.
+    Inclusive time answers "how long does this phase take end to end";
+    self time answers "where is the clock actually spent" — an epoch span
+    is ~100% inclusive but near-0% self, because its time belongs to the
+    m_step/e_step/... spans nested inside it; and
   * a per-epoch table from the run log — loss, dev score, k(t),
     KL(q_a‖q_b), rule satisfaction, phase seconds, E-step throughput —
     plus the fit_end summary line.
@@ -23,30 +28,85 @@ import sys
 from collections import defaultdict
 
 
-def summarize_trace(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    events = doc.get("traceEvents", [])
-    spans = [e for e in events if e.get("ph") == "X"]
-    threads = {e.get("tid") for e in spans}
-    by_name = defaultdict(lambda: {"count": 0, "total_us": 0.0})
-    for e in spans:
+def compute_self_us(spans):
+    """Self time (duration minus direct children) per span event.
+
+    Spans are complete ("X") events. Within each tid, sort by (ts, -dur):
+    a parent starts no later than its children and, on ties, sorts first.
+    A containment stack then assigns every span's duration to itself minus
+    whatever its direct children cover. Returns a parallel list of
+    microsecond self times (same order as `spans`).
+
+    Also used by prof_report.py — keep the signature stable.
+    """
+    self_us = [float(e.get("dur", 0.0)) for e in spans]
+    order = sorted(range(len(spans)),
+                   key=lambda i: (spans[i].get("tid", 0),
+                                  float(spans[i].get("ts", 0.0)),
+                                  -float(spans[i].get("dur", 0.0))))
+    stack = []  # indices of open ancestor spans (same tid)
+    current_tid = object()
+    for i in order:
+        e = spans[i]
+        tid = e.get("tid", 0)
+        ts = float(e.get("ts", 0.0))
+        dur = float(e.get("dur", 0.0))
+        if tid != current_tid:
+            stack = []
+            current_tid = tid
+        while stack:
+            top = spans[stack[-1]]
+            top_end = float(top.get("ts", 0.0)) + float(top.get("dur", 0.0))
+            if top_end <= ts:
+                stack.pop()
+            else:
+                break
+        if stack:
+            self_us[stack[-1]] -= dur  # direct parent loses this span's time
+        stack.append(i)
+    return self_us
+
+
+def aggregate_trace(spans):
+    """Per-name aggregates: count, inclusive total, self total (us)."""
+    self_us = compute_self_us(spans)
+    by_name = defaultdict(lambda: {"count": 0, "total_us": 0.0,
+                                   "self_us": 0.0})
+    for e, s in zip(spans, self_us):
         agg = by_name[e["name"]]
         agg["count"] += 1
         agg["total_us"] += float(e.get("dur", 0.0))
-    grand_total = sum(a["total_us"] for a in by_name.values())
+        agg["self_us"] += s
+    return by_name
+
+
+def load_trace_spans(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def summarize_trace(path):
+    spans = load_trace_spans(path)
+    threads = {e.get("tid") for e in spans}
+    by_name = aggregate_trace(spans)
+    # Total self time equals total wall time actually covered by spans, so
+    # it is the denominator that makes shares sum to 100%.
+    grand_self = sum(a["self_us"] for a in by_name.values())
 
     print(f"== trace: {path}")
     print(f"   {len(spans)} spans over {len(threads)} thread track(s)")
-    print(f"   {'span':<16} {'count':>8} {'total ms':>12} "
-          f"{'mean ms':>10} {'share':>7}")
+    print(f"   {'span':<16} {'count':>8} {'incl ms':>12} "
+          f"{'mean ms':>10} {'self ms':>12} {'self share':>11}")
     for name, agg in sorted(by_name.items(),
-                            key=lambda kv: -kv[1]["total_us"]):
+                            key=lambda kv: -kv[1]["self_us"]):
         total_ms = agg["total_us"] / 1000.0
         mean_ms = total_ms / agg["count"]
-        share = agg["total_us"] / grand_total if grand_total else 0.0
+        self_ms = agg["self_us"] / 1000.0
+        share = agg["self_us"] / grand_self if grand_self else 0.0
         print(f"   {name:<16} {agg['count']:>8} {total_ms:>12.3f} "
-              f"{mean_ms:>10.4f} {share:>6.1%}")
+              f"{mean_ms:>10.4f} {self_ms:>12.3f} {share:>10.1%}")
 
 
 def summarize_runlog(path):
